@@ -1,0 +1,89 @@
+"""Figure 10 — end-to-end performance on the Stanford backbone rule-sets.
+
+The paper evaluates four real forwarding tables (~180K single-field rules
+each) against TupleMerge: NuevoMatch achieves ~3.5× higher throughput and
+~7.5× lower latency on every one of them.  We generate four backbone-like
+tables (DESIGN.md §4) and reproduce the comparison.
+"""
+
+from repro.analysis import format_table, geometric_mean
+from repro.classifiers import TupleMergeClassifier
+from repro.core.config import NuevoMatchConfig
+from repro.core.nuevomatch import NuevoMatch
+from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
+from repro.traffic import generate_uniform_trace
+
+from conftest import bench_cost_model, bench_rqrmi_config, current_scale, report, stanford
+
+PAPER = {"throughput": 3.5, "latency": 7.5}
+
+
+def test_fig10_stanford_backbone(benchmark):
+    scale = current_scale()
+    size = scale["stanford_rules"]
+    cost_model = bench_cost_model()
+    rows = []
+    throughput_factors = []
+    latency_factors = []
+    for router in range(4):
+        table = stanford(size, seed=router)
+        trace = generate_uniform_trace(table, scale["trace_packets"], seed=23 + router)
+        baseline = TupleMergeClassifier.build(table)
+        nm = NuevoMatch.build(
+            table,
+            remainder_classifier="tm",
+            config=NuevoMatchConfig(
+                max_isets=4, min_iset_coverage=0.05, rqrmi=bench_rqrmi_config()
+            ),
+        )
+        baseline_report = evaluate_classifier(baseline, trace, cost_model, cores=2)
+        nm_report = evaluate_nuevomatch(nm, trace, cost_model, mode="parallel")
+        factors = speedup(nm_report, baseline_report)
+        throughput_factors.append(factors["throughput"])
+        latency_factors.append(factors["latency"])
+        rows.append(
+            [
+                f"router {router + 1}",
+                len(table),
+                round(nm.coverage * 100, 1),
+                round(baseline_report.throughput_pps / 1e6, 2),
+                round(nm_report.throughput_pps / 1e6, 2),
+                round(factors["throughput"], 2),
+                round(factors["latency"], 2),
+            ]
+        )
+    rows.append(
+        ["GM", "-", "-", "-", "-",
+         round(geometric_mean(throughput_factors), 2),
+         round(geometric_mean(latency_factors), 2)]
+    )
+    text = format_table(
+        ["rule-set", "rules", "coverage %", "tm Mpps", "nm Mpps", "thr x (paper 3.5)",
+         "lat x (paper 7.5)"],
+        rows,
+        title="Figure 10: Stanford-backbone-like forwarding tables, NuevoMatch vs TupleMerge",
+    )
+    report("fig10_stanford", text)
+
+    # Shape checks.  The paper's 3.5x/7.5x factors rely on the full 180K-rule
+    # tables, whose hash tables overflow the collision limit and spill to
+    # DRAM; at reduced scale TupleMerge's single-field tables remain small and
+    # fast, so the performance win is only required at full scale.  The
+    # structural claims — high coverage from 2-4 iSets and a much smaller
+    # index than TupleMerge — must hold at every scale.
+    assert all(float(row[2]) > 85.0 for row in rows[:-1])  # per-router coverage
+    # `nm` / `baseline` still refer to the last router built in the loop above.
+    assert nm.memory_footprint().index_bytes < baseline.memory_footprint().index_bytes
+    if current_scale()["cache_divisor"] == 1:
+        assert geometric_mean(latency_factors) > 1.0
+        assert geometric_mean(throughput_factors) > 1.0
+
+    table = stanford(size, seed=0)
+    packet = table.sample_packets(1, seed=5)[0]
+    nm = NuevoMatch.build(
+        table,
+        remainder_classifier="tm",
+        config=NuevoMatchConfig(max_isets=4, min_iset_coverage=0.05,
+                                rqrmi=bench_rqrmi_config()),
+    )
+    benchmark(lambda: nm.classify(packet))

@@ -1,0 +1,75 @@
+"""Figure 11 — throughput vs. number of rules (TupleMerge with and without NM).
+
+The paper plots TupleMerge and NuevoMatch-accelerated TupleMerge on ACL
+rule-sets from 1K to 500K rules.  TupleMerge's throughput collapses as its
+hash tables spill from L1 to L2 to L3/DRAM; NuevoMatch compresses the index so
+the remainder stays in fast caches and the large-rule-set throughput returns
+to the small-rule-set level.  Annotations give coverage and index sizes
+(remainder : total), e.g. 99% coverage and 7.9 KB : 46.1 KB at 500K.
+"""
+
+from repro.analysis import format_table
+from repro.simulation import CacheHierarchy, CostModel, evaluate_classifier, evaluate_nuevomatch
+from repro.traffic import generate_uniform_trace
+
+from conftest import bench_cache, bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+
+
+def test_fig11_throughput_vs_rules(benchmark):
+    scale = current_scale()
+    application = scale["applications"][0]  # an ACL application, as in the paper
+    cache = bench_cache()
+    cost_model = bench_cost_model()
+
+    rows = []
+    tm_series = []
+    nm_series = []
+    for label in ("1K", "10K", "100K", "500K"):
+        size = scale["sizes"][label]
+        rules = ruleset(application, size)
+        trace = generate_uniform_trace(rules, scale["trace_packets"], seed=31)
+        baseline = build_baseline("tm", application, size)
+        nm = build_nuevomatch("tm", application, size)
+
+        baseline_report = evaluate_classifier(baseline, trace, cost_model, cores=2)
+        nm_report = evaluate_nuevomatch(nm, trace, cost_model, mode="parallel")
+        tm_series.append(baseline_report.throughput_pps)
+        nm_series.append(nm_report.throughput_pps)
+
+        baseline_index = baseline.memory_footprint().index_bytes
+        remainder_index = nm.remainder.memory_footprint().index_bytes
+        total_nm_index = nm.memory_footprint().index_bytes
+        rows.append(
+            [
+                label,
+                size,
+                round(baseline_report.throughput_pps / 1e6, 2),
+                round(nm_report.throughput_pps / 1e6, 2),
+                round(nm.coverage * 100, 1),
+                f"{remainder_index / 1024:.1f}:{total_nm_index / 1024:.1f}",
+                f"{baseline_index / 1024:.1f}",
+                cache.placement_level(baseline_index),
+                cache.placement_level(total_nm_index),
+            ]
+        )
+
+    text = format_table(
+        ["size", "rules", "tm Mpps", "nm Mpps", "coverage %",
+         "nm index KB (rem:total)", "tm index KB", "tm level", "nm level"],
+        rows,
+        title="Figure 11: throughput vs. number of rules (TupleMerge vs NuevoMatch w/ TupleMerge)",
+    )
+    report("fig11_scaling", text)
+
+    # Shape checks: TupleMerge degrades with scale; NuevoMatch degrades less
+    # and wins at the largest scale.
+    assert tm_series[-1] < tm_series[0]
+    assert nm_series[-1] > tm_series[-1]
+    tm_drop = tm_series[0] / tm_series[-1]
+    nm_drop = nm_series[0] / nm_series[-1]
+    assert nm_drop < tm_drop
+
+    size = scale["sizes"]["500K"]
+    baseline = build_baseline("tm", application, size)
+    packet = ruleset(application, size).sample_packets(1, seed=3)[0]
+    benchmark(lambda: baseline.classify(packet))

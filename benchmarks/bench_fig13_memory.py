@@ -1,0 +1,80 @@
+"""Figure 13 — memory footprint of the index structures vs. rule-set size.
+
+The paper plots, for 1K/10K/100K/500K ClassBench rule-sets, the index size of
+CutSplit, NeuroCuts and TupleMerge stand-alone, next to the NuevoMatch
+remainder index and the RQ-RMI models.  Headline: at 500K rules NuevoMatch
+compresses the index by 4.9× (cs), 8× (nc) and 82× (tm) on average, bringing
+it from L3/DRAM territory back under the L2 (and mostly L1) size.
+"""
+
+from repro.analysis import compare_footprints, format_table, geometric_mean
+from repro.simulation import CacheHierarchy
+
+from conftest import bench_cache, bench_nm_config, current_scale, report, ruleset
+
+PAPER_COMPRESSION_500K = {"cs": 4.9, "nc": 8.0, "tm": 82.0}
+
+
+def test_fig13_memory_footprint(benchmark):
+    scale = current_scale()
+    cache = bench_cache()
+    rows = []
+    compression_at_largest: dict[str, list[float]] = {"cs": [], "nc": [], "tm": []}
+
+    for label in ("1K", "10K", "100K", "500K"):
+        size = scale["sizes"][label]
+        for application in scale["applications"][:2]:
+            rules = ruleset(application, size)
+            reports = compare_footprints(
+                rules,
+                baselines=["cs", "nc", "tm"],
+                with_nuevomatch=True,
+                nm_config=bench_nm_config("tm"),
+                cache=cache,
+            )
+            by_name = {r.classifier: r for r in reports}
+            for name in ("cs", "nc", "tm"):
+                baseline = by_name[name]
+                nm = by_name[f"nm({name})"]
+                compression = (
+                    baseline.index_bytes / nm.index_bytes if nm.index_bytes else 0.0
+                )
+                if label == "500K":
+                    compression_at_largest[name].append(compression)
+                rows.append(
+                    [
+                        label,
+                        application,
+                        name,
+                        baseline.index_bytes,
+                        baseline.cache_level,
+                        nm.index_bytes,
+                        nm.rqrmi_bytes,
+                        nm.cache_level,
+                        round(compression, 1),
+                    ]
+                )
+
+    text = format_table(
+        ["size", "app", "baseline", "baseline index B", "baseline level",
+         "nm index B", "rqrmi B", "nm level", "compression x"],
+        rows,
+        title="Figure 13: index memory footprint, baselines vs NuevoMatch",
+    )
+    gm_lines = []
+    for name, values in compression_at_largest.items():
+        gm_lines.append(
+            f"geomean compression at largest scale vs {name}: "
+            f"{geometric_mean(values):.1f}x (paper at 500K: {PAPER_COMPRESSION_500K[name]}x)"
+        )
+    report("fig13_memory", text + "\n\n" + "\n".join(gm_lines))
+
+    # Shape checks: NuevoMatch compresses every baseline at the largest scale,
+    # and TupleMerge (the largest structure) is compressed the most.
+    geomeans = {name: geometric_mean(values) for name, values in compression_at_largest.items()}
+    assert all(value > 1.0 for value in geomeans.values())
+    assert geomeans["tm"] >= geomeans["cs"]
+
+    size = scale["sizes"]["100K"]
+    rules = ruleset(scale["applications"][0], size)
+    benchmark(lambda: compare_footprints(rules, baselines=["tm"], with_nuevomatch=False))

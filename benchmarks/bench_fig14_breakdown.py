@@ -1,0 +1,87 @@
+"""Figure 14 — coverage and execution-time breakdown vs. number of iSets.
+
+The paper varies the number of iSets (0–6) with CutSplit indexing the
+remainder, on a single core, and reports the cumulative coverage together with
+the per-lookup time split into remainder / secondary search / validation /
+RQ-RMI inference.  Shape: coverage saturates after 2–3 iSets while the
+inference and validation components keep growing with every added iSet, so one
+or two iSets are the sweet spot; zero iSets is the stand-alone baseline.
+"""
+
+from repro.analysis import format_table
+from repro.core.config import NuevoMatchConfig
+from repro.core.nuevomatch import NuevoMatch
+from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch
+from repro.traffic import generate_uniform_trace
+
+from conftest import bench_cost_model, bench_rqrmi_config, build_baseline, current_scale, report, ruleset
+
+
+def test_fig14_iset_count_breakdown(benchmark):
+    scale = current_scale()
+    size = scale["sizes"]["500K"]
+    application = scale["applications"][0]
+    rules = ruleset(application, size)
+    trace = generate_uniform_trace(rules, scale["trace_packets"], seed=51)
+    cost_model = bench_cost_model()
+
+    rows = []
+    coverage_series = []
+    latency_series = []
+    for num_isets in range(0, 5):
+        if num_isets == 0:
+            baseline = build_baseline("cs", application, size)
+            perf = evaluate_classifier(baseline, trace, cost_model, cores=1)
+            rows.append([0, 0.0, round(perf.avg_latency_ns, 1), "-", "-", "-",
+                         round(perf.avg_latency_ns, 1)])
+            coverage_series.append(0.0)
+            latency_series.append(perf.avg_latency_ns)
+            continue
+        nm = NuevoMatch.build(
+            rules,
+            remainder_classifier="cs",
+            config=NuevoMatchConfig(
+                max_isets=num_isets,
+                min_iset_coverage=0.01,
+                rqrmi=bench_rqrmi_config(),
+            ),
+        )
+        perf = evaluate_nuevomatch(nm, trace, cost_model, mode="single")
+        breakdown = perf.breakdown
+        rows.append(
+            [
+                num_isets,
+                round(nm.coverage * 100, 1),
+                round(perf.avg_latency_ns, 1),
+                round(breakdown.model_ns + breakdown.compute_ns, 1),
+                round(breakdown.rule_ns, 1),
+                round(breakdown.index_ns + breakdown.hash_ns, 1),
+                round(perf.avg_latency_ns, 1),
+            ]
+        )
+        coverage_series.append(nm.coverage * 100)
+        latency_series.append(perf.avg_latency_ns)
+
+    text = format_table(
+        ["iSets", "coverage %", "latency ns", "inference ns",
+         "search+validation ns", "remainder ns", "total ns"],
+        rows,
+        title="Figure 14: coverage and runtime breakdown vs. number of iSets (remainder: CutSplit)",
+    )
+    report("fig14_breakdown", text)
+
+    # Shape checks: coverage is monotone and saturates; adding iSets beyond
+    # saturation does not keep improving latency (diminishing returns).
+    assert all(a <= b + 1e-9 for a, b in zip(coverage_series[:-1], coverage_series[1:]))
+    assert coverage_series[-1] > 80.0
+    best_latency = min(latency_series[1:])
+    assert latency_series[-1] >= best_latency * 0.9
+
+    benchmark(lambda: evaluate_nuevomatch(
+        NuevoMatch.build(
+            rules, remainder_classifier="cs",
+            config=NuevoMatchConfig(max_isets=1, min_iset_coverage=0.01,
+                                    rqrmi=bench_rqrmi_config()),
+        ),
+        trace, cost_model, mode="single", max_packets=50,
+    ))

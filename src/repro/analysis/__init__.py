@@ -1,0 +1,27 @@
+"""Analysis helpers: footprint accounting, coverage analysis and reporting."""
+
+from repro.analysis.coverage import CoverageReport, coverage_report, coverage_table_rows
+from repro.analysis.footprint import (
+    FootprintReport,
+    classifier_footprint,
+    compare_footprints,
+)
+from repro.analysis.reporting import (
+    format_kv,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+
+__all__ = [
+    "CoverageReport",
+    "coverage_report",
+    "coverage_table_rows",
+    "FootprintReport",
+    "classifier_footprint",
+    "compare_footprints",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+]

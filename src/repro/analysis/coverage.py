@@ -1,0 +1,56 @@
+"""iSet coverage analysis (Table 2, Table 3, Figure 14's coverage curve)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.isets import partition_isets
+from repro.core.metrics import ruleset_centrality, ruleset_diversity
+from repro.rules.rule import RuleSet
+
+__all__ = ["CoverageReport", "coverage_report", "coverage_table_rows"]
+
+
+@dataclass
+class CoverageReport:
+    """Cumulative iSet coverage of one rule-set."""
+
+    ruleset: str
+    num_rules: int
+    cumulative_coverage: list[float]
+    diversity: dict[str, float]
+    centrality: int
+
+    def coverage_at(self, num_isets: int) -> float:
+        """Coverage after ``num_isets`` iSets (0 if fewer iSets exist)."""
+        if num_isets <= 0 or not self.cumulative_coverage:
+            return 0.0
+        index = min(num_isets, len(self.cumulative_coverage)) - 1
+        return self.cumulative_coverage[index]
+
+
+def coverage_report(
+    ruleset: RuleSet, max_isets: int = 4, estimate_centrality: bool = False
+) -> CoverageReport:
+    """Coverage of the first ``max_isets`` iSets, plus the §3.7 metrics."""
+    partition = partition_isets(ruleset, max_isets=max_isets)
+    return CoverageReport(
+        ruleset=ruleset.name,
+        num_rules=len(ruleset),
+        cumulative_coverage=partition.cumulative_coverage(),
+        diversity=ruleset_diversity(ruleset),
+        centrality=ruleset_centrality(ruleset) if estimate_centrality else 0,
+    )
+
+
+def coverage_table_rows(
+    reports: list[CoverageReport], max_isets: int = 4
+) -> list[list[object]]:
+    """Rows shaped like Table 2: per rule-set, coverage for 1..max_isets iSets."""
+    rows: list[list[object]] = []
+    for report in reports:
+        row: list[object] = [report.ruleset, report.num_rules]
+        for count in range(1, max_isets + 1):
+            row.append(round(100.0 * report.coverage_at(count), 1))
+        rows.append(row)
+    return rows

@@ -1,0 +1,91 @@
+"""Memory-footprint accounting across classifiers (Figures 11 and 13).
+
+The paper compares the size of the *index structures only* (not the stored
+rules): hash tables for TupleMerge, trees for CutSplit/NeuroCuts, and for
+NuevoMatch the RQ-RMI model weights plus the remainder classifier's index.
+This module builds the requested classifiers over a rule-set and reports those
+sizes, together with the cache level each structure lands in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classifiers import CLASSIFIER_REGISTRY, Classifier
+from repro.core.config import NuevoMatchConfig
+from repro.core.nuevomatch import NuevoMatch
+from repro.rules.rule import RuleSet
+from repro.simulation.cache import CacheHierarchy
+
+__all__ = ["FootprintReport", "classifier_footprint", "compare_footprints"]
+
+
+@dataclass
+class FootprintReport:
+    """Index footprint of one classifier over one rule-set."""
+
+    classifier: str
+    ruleset: str
+    num_rules: int
+    index_bytes: int
+    rqrmi_bytes: int
+    remainder_index_bytes: int
+    cache_level: str
+
+    def as_row(self) -> list[object]:
+        return [
+            self.classifier,
+            self.num_rules,
+            self.index_bytes,
+            self.rqrmi_bytes,
+            self.remainder_index_bytes,
+            self.cache_level,
+        ]
+
+
+def classifier_footprint(
+    classifier: Classifier, ruleset_name: str, cache: CacheHierarchy | None = None
+) -> FootprintReport:
+    """Footprint report for an already-built classifier."""
+    cache = cache or CacheHierarchy.xeon_silver_4116()
+    footprint = classifier.memory_footprint()
+    rqrmi_bytes = footprint.breakdown.get("rqrmi", 0)
+    remainder_bytes = footprint.breakdown.get("remainder_index", 0)
+    return FootprintReport(
+        classifier=classifier.name,
+        ruleset=ruleset_name,
+        num_rules=len(classifier.ruleset),
+        index_bytes=footprint.index_bytes,
+        rqrmi_bytes=rqrmi_bytes,
+        remainder_index_bytes=remainder_bytes,
+        cache_level=cache.placement_level(footprint.index_bytes),
+    )
+
+
+def compare_footprints(
+    ruleset: RuleSet,
+    baselines: list[str] = ("cs", "nc", "tm"),
+    with_nuevomatch: bool = True,
+    nm_config: NuevoMatchConfig | None = None,
+    cache: CacheHierarchy | None = None,
+) -> list[FootprintReport]:
+    """Build each baseline (and NuevoMatch on top of it) and report footprints.
+
+    This reproduces a Figure 13 bar cluster for one rule-set: for every
+    baseline the stand-alone index size, and for NuevoMatch the remainder
+    index plus the RQ-RMI models.
+    """
+    cache = cache or CacheHierarchy.xeon_silver_4116()
+    reports: list[FootprintReport] = []
+    for name in baselines:
+        baseline_cls = CLASSIFIER_REGISTRY[name]
+        baseline = baseline_cls.build(ruleset)
+        reports.append(classifier_footprint(baseline, ruleset.name, cache))
+        if with_nuevomatch:
+            nm = NuevoMatch.build(
+                ruleset, remainder_classifier=baseline_cls, config=nm_config
+            )
+            report = classifier_footprint(nm, ruleset.name, cache)
+            report.classifier = f"nm({name})"
+            reports.append(report)
+    return reports

@@ -1,0 +1,71 @@
+"""Reporting helpers used by the benchmark harness.
+
+The benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep that formatting consistent: fixed-width text
+tables, geometric means (the paper aggregates per-rule-set speedups with a
+geometric mean, labelled "GM" in Figures 8/9), and simple ASCII series for
+figure-shaped results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geometric_mean", "format_table", "format_series", "format_kv"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if the input is empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[object], ys: Sequence[float], x_label: str = "x", y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table (one figure line)."""
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=title)
+
+
+def format_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render a key/value mapping, one line each."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)

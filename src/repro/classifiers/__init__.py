@@ -1,0 +1,58 @@
+"""Baseline packet classifiers.
+
+These are the algorithms NuevoMatch is compared against in the paper and the
+candidates for indexing its *remainder set*:
+
+* :class:`~repro.classifiers.linear.LinearSearchClassifier` — correctness oracle.
+* :class:`~repro.classifiers.tuplespace.TupleSpaceSearchClassifier` — Tuple
+  Space Search (hash-based, update-friendly).
+* :class:`~repro.classifiers.tuplemerge.TupleMergeClassifier` — TupleMerge
+  (``tm`` in the paper's figures).
+* :class:`~repro.classifiers.hicuts.HiCutsClassifier` — HiCuts decision tree.
+* :class:`~repro.classifiers.cutsplit.CutSplitClassifier` — CutSplit (``cs``).
+* :class:`~repro.classifiers.neurocuts.NeuroCutsClassifier` — NeuroCuts-style
+  search-optimised tree (``nc``).
+
+All classifiers implement the :class:`~repro.classifiers.base.Classifier`
+interface, including traced lookups used by the performance cost model and
+the ``classify_with_floor`` early-termination hook.
+"""
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+    UpdatableClassifier,
+)
+from repro.classifiers.linear import LinearSearchClassifier
+from repro.classifiers.tuplespace import TupleSpaceSearchClassifier
+from repro.classifiers.tuplemerge import TupleMergeClassifier
+from repro.classifiers.hicuts import HiCutsClassifier
+from repro.classifiers.cutsplit import CutSplitClassifier
+from repro.classifiers.neurocuts import NeuroCutsClassifier
+
+#: Registry mapping the paper's short classifier names to classes.
+CLASSIFIER_REGISTRY: dict[str, type[Classifier]] = {
+    "linear": LinearSearchClassifier,
+    "tss": TupleSpaceSearchClassifier,
+    "tm": TupleMergeClassifier,
+    "hicuts": HiCutsClassifier,
+    "cs": CutSplitClassifier,
+    "nc": NeuroCutsClassifier,
+}
+
+__all__ = [
+    "Classifier",
+    "UpdatableClassifier",
+    "ClassificationResult",
+    "LookupTrace",
+    "MemoryFootprint",
+    "LinearSearchClassifier",
+    "TupleSpaceSearchClassifier",
+    "TupleMergeClassifier",
+    "HiCutsClassifier",
+    "CutSplitClassifier",
+    "NeuroCutsClassifier",
+    "CLASSIFIER_REGISTRY",
+]

@@ -1,0 +1,229 @@
+"""Common classifier interface, lookup tracing and memory accounting.
+
+Every packet classifier in the library (the baselines and NuevoMatch itself)
+implements :class:`Classifier`.  Besides returning the matching rule, a
+classifier can report a :class:`LookupTrace` describing the *memory behaviour*
+of the lookup — how many dependent accesses it made to its index structure,
+how many rule entries it touched, and how much pure compute it performed.
+The :mod:`repro.simulation` cost model turns those traces plus the
+:class:`MemoryFootprint` of the structure into latency/throughput estimates,
+which is how the paper's performance-shaped experiments are reproduced
+(see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = [
+    "LookupTrace",
+    "MemoryFootprint",
+    "ClassificationResult",
+    "Classifier",
+    "UpdatableClassifier",
+]
+
+
+@dataclass
+class LookupTrace:
+    """Memory/compute profile of a single lookup.
+
+    Attributes:
+        index_accesses: Dependent accesses to the classifier's index structure
+            (tree nodes, hash buckets, model parameters already counted as
+            resident — see ``model_accesses``).  These are the accesses whose
+            latency depends on where the index lives in the cache hierarchy.
+        rule_accesses: Accesses to stored rule entries (secondary search,
+            validation, leaf scans).  Rules live in DRAM in the paper's design.
+        model_accesses: Accesses to RQ-RMI model weights.  Held separately
+            because the models are small enough to stay L1-resident.
+        compute_ops: Arithmetic work in "vector-op" units (neural-net
+            inference, comparisons), used by the vectorisation model.
+        hash_ops: Number of hash computations performed.
+    """
+
+    index_accesses: int = 0
+    rule_accesses: int = 0
+    model_accesses: int = 0
+    compute_ops: int = 0
+    hash_ops: int = 0
+
+    def merge(self, other: "LookupTrace") -> "LookupTrace":
+        """Element-wise sum of two traces (e.g. iSets + remainder)."""
+        return LookupTrace(
+            index_accesses=self.index_accesses + other.index_accesses,
+            rule_accesses=self.rule_accesses + other.rule_accesses,
+            model_accesses=self.model_accesses + other.model_accesses,
+            compute_ops=self.compute_ops + other.compute_ops,
+            hash_ops=self.hash_ops + other.hash_ops,
+        )
+
+    @property
+    def total_accesses(self) -> int:
+        return self.index_accesses + self.rule_accesses + self.model_accesses
+
+
+@dataclass
+class MemoryFootprint:
+    """Size of a classifier's data structures in bytes.
+
+    Attributes:
+        index_bytes: The lookup index itself (tree nodes, hash tables, model
+            weights) — the quantity plotted in the paper's Figure 13.
+        rule_bytes: Storage for the rules / value arrays (excluded from the
+            paper's footprint comparison but tracked for completeness).
+        breakdown: Optional per-component byte counts for reporting.
+    """
+
+    index_bytes: int = 0
+    rule_bytes: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.index_bytes + self.rule_bytes
+
+    def merge(self, other: "MemoryFootprint") -> "MemoryFootprint":
+        combined = dict(self.breakdown)
+        for key, value in other.breakdown.items():
+            combined[key] = combined.get(key, 0) + value
+        return MemoryFootprint(
+            index_bytes=self.index_bytes + other.index_bytes,
+            rule_bytes=self.rule_bytes + other.rule_bytes,
+            breakdown=combined,
+        )
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of a traced lookup."""
+
+    rule: Optional[Rule]
+    trace: LookupTrace
+
+    @property
+    def matched(self) -> bool:
+        return self.rule is not None
+
+    @property
+    def action(self) -> Optional[str]:
+        return self.rule.action if self.rule else None
+
+
+class Classifier(ABC):
+    """Abstract multi-field packet classifier.
+
+    Concrete classifiers are constructed from a :class:`RuleSet` via
+    :meth:`build` and answer point queries with the highest-priority matching
+    rule.  ``classify`` is the plain interface; ``classify_traced`` also
+    reports the lookup's memory/compute profile.
+    """
+
+    #: Short name used in reports (e.g. ``"cs"`` for CutSplit).
+    name: str = "classifier"
+
+    def __init__(self, ruleset: RuleSet):
+        self.ruleset = ruleset
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    @abstractmethod
+    def build(cls, ruleset: RuleSet, **params) -> "Classifier":
+        """Construct the classifier's index structures from ``ruleset``."""
+
+    # -- lookup ---------------------------------------------------------------
+
+    @abstractmethod
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        """Return the best matching rule together with the lookup trace."""
+
+    def classify(self, packet: Packet | Sequence[int]) -> Optional[Rule]:
+        """Return the highest-priority rule matching ``packet`` (or ``None``)."""
+        return self.classify_traced(packet).rule
+
+    def classify_with_floor(
+        self, packet: Packet | Sequence[int], priority_floor: Optional[int]
+    ) -> ClassificationResult:
+        """Lookup that may terminate early if no rule can beat ``priority_floor``.
+
+        ``priority_floor`` is the numeric priority of the best match found so
+        far elsewhere (lower is better); a classifier supporting the paper's
+        *early termination* optimisation (§4) prunes work that cannot return a
+        strictly better (numerically lower) priority.  The default simply
+        performs a full lookup.
+        """
+        return self.classify_traced(packet)
+
+    # -- introspection --------------------------------------------------------
+
+    @abstractmethod
+    def memory_footprint(self) -> MemoryFootprint:
+        """Size of the classifier's data structures."""
+
+    def statistics(self) -> dict[str, object]:
+        """Structure statistics for reports; subclasses extend this."""
+        footprint = self.memory_footprint()
+        return {
+            "name": self.name,
+            "num_rules": len(self.ruleset),
+            "index_bytes": footprint.index_bytes,
+            "rule_bytes": footprint.rule_bytes,
+        }
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, packets: Iterable[Packet], oracle: RuleSet | None = None) -> int:
+        """Check the classifier against linear search on ``packets``.
+
+        Returns the number of packets checked; raises ``AssertionError`` on the
+        first disagreement.  Used by tests and by the benchmark harness to
+        ensure the structures being timed are actually correct.
+        """
+        oracle = oracle or self.ruleset
+        count = 0
+        for packet in packets:
+            expected = oracle.match(packet)
+            actual = self.classify(packet)
+            expected_id = expected.rule_id if expected else None
+            actual_id = actual.rule_id if actual else None
+            if expected_id != actual_id:
+                expected_priority = expected.priority if expected else None
+                actual_priority = actual.priority if actual else None
+                # Distinct rules with equal priority and identical match sets
+                # are acceptable ties; anything else is a real bug.
+                if expected_priority != actual_priority:
+                    raise AssertionError(
+                        f"{self.name}: mismatch for packet {tuple(packet)}: "
+                        f"expected rule {expected_id} (prio {expected_priority}), "
+                        f"got {actual_id} (prio {actual_priority})"
+                    )
+            count += 1
+        return count
+
+
+class UpdatableClassifier(Classifier):
+    """A classifier that additionally supports online rule updates."""
+
+    @abstractmethod
+    def insert(self, rule: Rule) -> None:
+        """Add ``rule`` to the classifier."""
+
+    @abstractmethod
+    def remove(self, rule_id: int) -> bool:
+        """Remove the rule with ``rule_id``; returns True if it was present."""
+
+
+# Byte-size constants shared by the concrete classifiers' footprint models.
+# They follow the C/C++ layouts the original implementations use, so relative
+# footprints between classifiers are meaningful.
+POINTER_BYTES = 8
+NODE_HEADER_BYTES = 16       # decision-tree node header (type, dim, bounds ptr)
+RULE_ENTRY_BYTES = 48        # a stored 5-tuple rule: 5 ranges @ 8B + prio/action
+HASH_ENTRY_BYTES = 16        # hash bucket entry: key hash + rule pointer
+HASH_TABLE_OVERHEAD = 64     # per-table header
+FLOAT_BYTES = 4

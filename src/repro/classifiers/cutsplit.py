@@ -1,0 +1,217 @@
+"""CutSplit classifier.
+
+CutSplit [Li et al., INFOCOM 2018] tames the rule-replication problem of
+single-tree cutting algorithms with two ideas:
+
+1. **Pre-partitioning**: rules are grouped by which of their IP fields are
+   "small" (more specific than a threshold prefix length).  Rules with small
+   source and destination prefixes, only a small source, only a small
+   destination, or neither, go into separate groups; each group gets its own
+   tree, so a wildcard field never forces replication in a tree that cuts it.
+2. **Cut then split**: within a group the tree first applies equal-sized cuts
+   (FiCuts) on the small fields — cheap, balanced, replication-free for that
+   group — and switches to binary *splitting* at rule-range endpoints (in the
+   spirit of HyperSplit) once the node is small enough, terminating with
+   ``binth`` rules per leaf (8 in the paper and here).
+
+A lookup queries every group tree and returns the best-priority match; the
+trees are visited best-priority-first so the early-termination optimisation
+can skip trees that cannot win.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+)
+from repro.classifiers.dtree import (
+    CutAction,
+    DecisionTree,
+    LeafAction,
+    Space,
+    SplitAction,
+    build_tree,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["CutSplitClassifier"]
+
+#: A field is "small" when the rule covers at most 2**(bits - threshold) values,
+#: i.e. the rule's prefix is at least ``threshold`` bits long.
+DEFAULT_SMALL_PREFIX_THRESHOLD = 16
+
+
+def _is_small(rule: Rule, dim: int, bits: int, threshold: int) -> bool:
+    span = rule.field_span(dim)
+    return span <= (1 << (bits - threshold))
+
+
+def _cutsplit_policy(cut_dims: list[int], ficuts_rule_threshold: int, num_cuts: int):
+    """Per-node policy implementing the FiCuts-then-split strategy."""
+
+    def _split_choice(space: Space, rules: list[Rule]):
+        # Large nodes are evaluated on a rule sample: the median endpoint of a
+        # sample is a good split point and keeps construction near-linear.
+        sample = rules if len(rules) <= 256 else rules[:: len(rules) // 256]
+        best_dim, best_threshold, best_score = None, None, None
+        for dim, (lo, hi) in enumerate(space):
+            if hi <= lo:
+                continue
+            endpoints = sorted(
+                {
+                    min(max(rule.ranges[dim][1], lo), hi - 1)
+                    for rule in sample
+                    if lo <= rule.ranges[dim][1] < hi
+                }
+            )
+            if not endpoints:
+                continue
+            threshold = endpoints[len(endpoints) // 2]
+            left = sum(1 for rule in sample if rule.ranges[dim][0] <= threshold)
+            right = sum(1 for rule in sample if rule.ranges[dim][1] > threshold)
+            if max(left, right) >= len(sample):
+                continue  # no progress in this dimension
+            # Prefer splits that replicate the fewest rules, then balance.
+            score = (left + right, max(left, right))
+            if best_score is None or score < best_score:
+                best_dim, best_threshold, best_score = dim, threshold, score
+        # Rules that overlap too heavily would be replicated down the whole
+        # subtree; storing them in one (larger) leaf keeps both the footprint
+        # and the build time bounded, mirroring CutSplit's tolerance for
+        # oversized leaves on pathological subsets.
+        if best_dim is None or best_score is None or best_score[0] > 1.3 * len(sample):
+            return LeafAction()
+        return SplitAction(best_dim, best_threshold)
+
+    def policy(space: Space, rules: list[Rule], depth: int):
+        # FiCuts phase: equal cuts on the group's small dimensions while the
+        # node is still large.
+        if len(rules) > ficuts_rule_threshold and cut_dims:
+            dim = cut_dims[depth % len(cut_dims)]
+            lo, hi = space[dim]
+            if hi - lo + 1 >= num_cuts:
+                return CutAction(dim, num_cuts)
+        # Split phase.
+        return _split_choice(space, rules)
+
+    return policy
+
+
+class CutSplitClassifier(Classifier):
+    """CutSplit: pre-partitioned FiCuts + HyperSplit-style trees, binth=8."""
+
+    name = "cs"
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        binth: int = 8,
+        small_prefix_threshold: int = DEFAULT_SMALL_PREFIX_THRESHOLD,
+        ficuts_rule_threshold: int = 64,
+        num_cuts: int = 8,
+        max_depth: int = 28,
+    ):
+        super().__init__(ruleset)
+        self.binth = binth
+        self.small_prefix_threshold = small_prefix_threshold
+        schema = ruleset.schema
+        # Identify the IP-like dimensions eligible for the small/large grouping.
+        ip_dims = [dim for dim, spec in enumerate(schema) if spec.bits >= 32]
+        if not ip_dims:
+            ip_dims = [0]
+
+        groups: dict[tuple[int, ...], list[Rule]] = {}
+        for rule in ruleset:
+            key = tuple(
+                dim
+                for dim in ip_dims
+                if _is_small(rule, dim, schema[dim].bits, small_prefix_threshold)
+            )
+            groups.setdefault(key, []).append(rule)
+
+        space = schema.full_ranges()
+        self._trees: list[DecisionTree] = []
+        self._group_keys: list[tuple[int, ...]] = []
+        for key, rules in groups.items():
+            cut_dims = list(key)
+            policy = _cutsplit_policy(cut_dims, ficuts_rule_threshold, num_cuts)
+            root = build_tree(rules, space, policy, binth=binth, max_depth=max_depth)
+            self._trees.append(DecisionTree(root))
+            self._group_keys.append(key)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, binth: int = 8, **params) -> "CutSplitClassifier":
+        return cls(ruleset, binth=binth, **params)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def _ordered_trees(self) -> list[DecisionTree]:
+        return sorted(
+            self._trees,
+            key=lambda tree: tree.root.best_priority
+            if tree.root.best_priority is not None
+            else 1 << 60,
+        )
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self.classify_with_floor(packet, None)
+
+    def classify_with_floor(
+        self, packet: Packet | Sequence[int], priority_floor: Optional[int]
+    ) -> ClassificationResult:
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        best: Rule | None = None
+        best_priority = priority_floor
+        for tree in self._ordered_trees():
+            if (
+                best_priority is not None
+                and tree.root.best_priority is not None
+                and tree.root.best_priority >= best_priority
+            ):
+                break
+            rule = tree.lookup(values, trace, best_priority)
+            if rule is not None and (best_priority is None or rule.priority < best_priority):
+                best = rule
+                best_priority = rule.priority
+        return ClassificationResult(best, trace)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def memory_footprint(self) -> MemoryFootprint:
+        footprint = MemoryFootprint()
+        for index, tree in enumerate(self._trees):
+            tree_fp = tree.footprint(0)
+            footprint = footprint.merge(
+                MemoryFootprint(
+                    index_bytes=tree_fp.index_bytes,
+                    breakdown={f"tree_{index}": tree_fp.index_bytes},
+                )
+            )
+        from repro.classifiers.base import RULE_ENTRY_BYTES
+
+        footprint.rule_bytes = len(self.ruleset) * RULE_ENTRY_BYTES
+        return footprint
+
+    def statistics(self) -> dict[str, object]:
+        stats = super().statistics()
+        tree_stats = [tree.stats() for tree in self._trees]
+        stats.update(
+            num_trees=len(self._trees),
+            group_keys=[list(key) for key in self._group_keys],
+            max_depth=max((t.max_depth for t in tree_stats), default=0),
+            num_nodes=sum(t.num_nodes for t in tree_stats),
+            leaf_rule_slots=sum(t.total_leaf_rule_slots for t in tree_stats),
+            replication=sum(t.total_leaf_rule_slots for t in tree_stats)
+            / max(1, len(self.ruleset)),
+        )
+        return stats
+
+    @property
+    def num_trees(self) -> int:
+        return len(self._trees)

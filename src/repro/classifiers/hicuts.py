@@ -1,0 +1,122 @@
+"""HiCuts decision-tree classifier.
+
+HiCuts [Gupta & McKeown 2000] recursively cuts the rule space with equal-sized
+cuts along one dimension per node, chosen heuristically, until leaves hold at
+most ``binth`` rules.  It is an early decision-tree classifier that suffers
+from rule replication on large rule-sets — the very problem CutSplit and
+NeuroCuts (and NuevoMatch) address — and serves here as a substrate baseline
+and as the starting point of the tree family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+)
+from repro.classifiers.dtree import (
+    CutAction,
+    DecisionTree,
+    LeafAction,
+    Space,
+    build_tree,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["HiCutsClassifier"]
+
+
+def _distinct_projections(rules: list[Rule], dim: int) -> int:
+    return len({rule.ranges[dim] for rule in rules})
+
+
+def hicuts_policy(space_factor: float = 2.0, max_cuts: int = 16):
+    """Return the HiCuts per-node policy.
+
+    The dimension with the most distinct rule projections is cut; the number
+    of cuts grows with the node's rule count but is capped by ``max_cuts`` and
+    by the dimension's span (the ``spfac`` space-measure heuristic of the
+    original paper, simplified).
+    """
+
+    def policy(space: Space, rules: list[Rule], depth: int):
+        best_dim = None
+        best_score = -1
+        for dim, (lo, hi) in enumerate(space):
+            if hi <= lo:
+                continue
+            score = _distinct_projections(rules, dim)
+            if score > best_score:
+                best_score = score
+                best_dim = dim
+        if best_dim is None or best_score <= 1:
+            return LeafAction()
+        desired = int(space_factor * math.sqrt(len(rules)))
+        num_cuts = max(2, min(max_cuts, desired))
+        # Round to a power of two, matching typical implementations.
+        num_cuts = 1 << (num_cuts - 1).bit_length()
+        num_cuts = min(num_cuts, max_cuts)
+        return CutAction(best_dim, num_cuts)
+
+    return policy
+
+
+class HiCutsClassifier(Classifier):
+    """Single-tree HiCuts classifier."""
+
+    name = "hicuts"
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        binth: int = 8,
+        space_factor: float = 2.0,
+        max_cuts: int = 16,
+        max_depth: int = 24,
+    ):
+        super().__init__(ruleset)
+        self.binth = binth
+        space = ruleset.schema.full_ranges()
+        root = build_tree(
+            list(ruleset.rules),
+            space,
+            hicuts_policy(space_factor, max_cuts),
+            binth=binth,
+            max_depth=max_depth,
+        )
+        self._tree = DecisionTree(root)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, binth: int = 8, **params) -> "HiCutsClassifier":
+        return cls(ruleset, binth=binth, **params)
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self._tree.classify_traced(packet)
+
+    def classify_with_floor(
+        self, packet: Packet | Sequence[int], priority_floor: Optional[int]
+    ) -> ClassificationResult:
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        rule = self._tree.lookup(values, trace, priority_floor)
+        return ClassificationResult(rule, trace)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return self._tree.footprint(len(self.ruleset))
+
+    def statistics(self) -> dict[str, object]:
+        stats = super().statistics()
+        tree_stats = self._tree.stats()
+        stats.update(
+            num_nodes=tree_stats.num_nodes,
+            num_leaves=tree_stats.num_leaves,
+            max_depth=tree_stats.max_depth,
+            leaf_rule_slots=tree_stats.total_leaf_rule_slots,
+            replication=tree_stats.total_leaf_rule_slots / max(1, len(self.ruleset)),
+        )
+        return stats

@@ -1,0 +1,70 @@
+"""Linear-search classifier.
+
+The simplest possible classifier: scan every rule in priority order and return
+the first match.  It is used as the correctness oracle in tests and as the
+degenerate baseline in benchmarks; its lookup cost grows linearly with the
+rule-set, which is exactly why the paper's algorithms exist.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+    RULE_ENTRY_BYTES,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["LinearSearchClassifier"]
+
+
+class LinearSearchClassifier(Classifier):
+    """Priority-ordered linear scan over the rule array."""
+
+    name = "linear"
+
+    def __init__(self, ruleset: RuleSet):
+        super().__init__(ruleset)
+        self._ordered = sorted(ruleset.rules, key=lambda rule: rule.priority)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "LinearSearchClassifier":
+        return cls(ruleset)
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        for rule in self._ordered:
+            trace.rule_accesses += 1
+            trace.compute_ops += len(values)
+            if rule.matches(values):
+                return ClassificationResult(rule, trace)
+        return ClassificationResult(None, trace)
+
+    def classify_with_floor(
+        self, packet: Packet | Sequence[int], priority_floor: Optional[int]
+    ) -> ClassificationResult:
+        if priority_floor is None:
+            return self.classify_traced(packet)
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        for rule in self._ordered:
+            if rule.priority >= priority_floor:
+                break  # rules are priority-ordered; nothing below can win
+            trace.rule_accesses += 1
+            trace.compute_ops += len(values)
+            if rule.matches(values):
+                return ClassificationResult(rule, trace)
+        return ClassificationResult(None, trace)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        rule_bytes = len(self._ordered) * RULE_ENTRY_BYTES
+        return MemoryFootprint(
+            index_bytes=0,
+            rule_bytes=rule_bytes,
+            breakdown={"rule_array": rule_bytes},
+        )

@@ -1,0 +1,223 @@
+"""Tuple Space Search (TSS) classifier.
+
+Srinivasan, Suri and Varghese's Tuple Space Search [SIGCOMM 1999] partitions
+the rule-set by the *tuple* of prefix lengths used in each field; all rules of
+one tuple can be stored in a single hash table keyed by the masked field
+values.  A lookup masks the packet with every tuple's lengths and probes every
+table; a secondary check eliminates false positives and priority decides among
+the survivors.
+
+Range handling: exact values and prefix ranges map to their natural prefix
+length; arbitrary (non-prefix) ranges are treated as a wildcard in the tuple
+(length 0) and verified during the secondary check.  This mirrors the common
+"range-to-nesting-level" simplification used by software TSS implementations
+(including Open vSwitch) and avoids rule replication.
+
+TSS supports fast updates (insert/delete touch exactly one table), which is
+why it — and its descendant TupleMerge — is the update-friendly baseline in
+the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    HASH_ENTRY_BYTES,
+    HASH_TABLE_OVERHEAD,
+    LookupTrace,
+    MemoryFootprint,
+    RULE_ENTRY_BYTES,
+    UpdatableClassifier,
+)
+from repro.rules.fields import prefix_length_of_range
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["TupleSpaceSearchClassifier", "rule_tuple", "mask_value"]
+
+
+def rule_tuple(rule: Rule, field_bits: Sequence[int]) -> tuple[int, ...]:
+    """The tuple of effective prefix lengths of ``rule``.
+
+    Prefix-expressible ranges get their true prefix length; other ranges are
+    treated as wildcards (length 0).
+    """
+    lengths = []
+    for (lo, hi), bits in zip(rule.ranges, field_bits):
+        length = prefix_length_of_range(lo, hi, bits)
+        lengths.append(length if length is not None else 0)
+    return tuple(lengths)
+
+
+def mask_value(value: int, prefix_len: int, bits: int) -> int:
+    """Keep the ``prefix_len`` most significant bits of ``value``."""
+    if prefix_len <= 0:
+        return 0
+    if prefix_len >= bits:
+        return value
+    return value & (((1 << prefix_len) - 1) << (bits - prefix_len))
+
+
+class _TupleTable:
+    """One hash table holding all rules sharing a prefix-length tuple."""
+
+    def __init__(self, lengths: tuple[int, ...], field_bits: Sequence[int]):
+        self.lengths = lengths
+        self.field_bits = tuple(field_bits)
+        self.buckets: dict[tuple[int, ...], list[Rule]] = defaultdict(list)
+        self.max_priority: int | None = None  # numerically smallest priority
+
+    def key_for_values(self, values: Sequence[int]) -> tuple[int, ...]:
+        return tuple(
+            mask_value(value, length, bits)
+            for value, length, bits in zip(values, self.lengths, self.field_bits)
+        )
+
+    def key_for_rule(self, rule: Rule) -> tuple[int, ...]:
+        return tuple(
+            mask_value(lo, length, bits)
+            for (lo, _hi), length, bits in zip(rule.ranges, self.lengths, self.field_bits)
+        )
+
+    def insert(self, rule: Rule) -> None:
+        bucket = self.buckets[self.key_for_rule(rule)]
+        bucket.append(rule)
+        # Priority-ordered buckets let a lookup stop at the first match.
+        bucket.sort(key=lambda r: r.priority)
+        if self.max_priority is None or rule.priority < self.max_priority:
+            self.max_priority = rule.priority
+
+    def remove(self, rule_id: int) -> bool:
+        for key, bucket in list(self.buckets.items()):
+            for index, rule in enumerate(bucket):
+                if rule.rule_id == rule_id:
+                    del bucket[index]
+                    if not bucket:
+                        del self.buckets[key]
+                    self._recompute_max_priority()
+                    return True
+        return False
+
+    def _recompute_max_priority(self) -> None:
+        priorities = [rule.priority for bucket in self.buckets.values() for rule in bucket]
+        self.max_priority = min(priorities) if priorities else None
+
+    @property
+    def num_rules(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets.values())
+
+    def max_bucket_size(self) -> int:
+        return max((len(bucket) for bucket in self.buckets.values()), default=0)
+
+
+class TupleSpaceSearchClassifier(UpdatableClassifier):
+    """Classic Tuple Space Search over per-tuple hash tables."""
+
+    name = "tss"
+
+    def __init__(self, ruleset: RuleSet):
+        super().__init__(ruleset)
+        self._field_bits = [spec.bits for spec in ruleset.schema]
+        self._tables: dict[tuple[int, ...], _TupleTable] = {}
+        for rule in ruleset:
+            self._insert_into_tables(rule)
+
+    @classmethod
+    def build(cls, ruleset: RuleSet, **params) -> "TupleSpaceSearchClassifier":
+        return cls(ruleset)
+
+    # -- construction / updates ------------------------------------------------
+
+    def _insert_into_tables(self, rule: Rule) -> None:
+        lengths = rule_tuple(rule, self._field_bits)
+        table = self._tables.get(lengths)
+        if table is None:
+            table = _TupleTable(lengths, self._field_bits)
+            self._tables[lengths] = table
+        table.insert(rule)
+
+    def insert(self, rule: Rule) -> None:
+        self._insert_into_tables(rule)
+
+    def remove(self, rule_id: int) -> bool:
+        for lengths, table in list(self._tables.items()):
+            if table.remove(rule_id):
+                if table.num_rules == 0:
+                    del self._tables[lengths]
+                return True
+        return False
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _ordered_tables(self) -> list[_TupleTable]:
+        return sorted(
+            self._tables.values(),
+            key=lambda table: table.max_priority if table.max_priority is not None else 1 << 60,
+        )
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self.classify_with_floor(packet, None)
+
+    def classify_with_floor(
+        self, packet: Packet | Sequence[int], priority_floor: Optional[int]
+    ) -> ClassificationResult:
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        best: Rule | None = None
+        best_priority = priority_floor
+        for table in self._ordered_tables():
+            if (
+                best_priority is not None
+                and table.max_priority is not None
+                and table.max_priority >= best_priority
+            ):
+                # Tables are sorted by best priority; nothing further can win.
+                break
+            trace.hash_ops += 1
+            trace.index_accesses += 1
+            bucket = table.buckets.get(table.key_for_values(values))
+            if not bucket:
+                continue
+            for rule in bucket:
+                if best_priority is not None and rule.priority >= best_priority:
+                    break  # bucket is priority-sorted; nothing better remains
+                trace.rule_accesses += 1
+                trace.compute_ops += len(values)
+                if rule.matches(values):
+                    best = rule
+                    best_priority = rule.priority
+                    break
+        return ClassificationResult(best, trace)
+
+    # -- introspection -------------------------------------------------------------
+
+    def memory_footprint(self) -> MemoryFootprint:
+        entries = sum(table.num_rules for table in self._tables.values())
+        buckets = sum(len(table.buckets) for table in self._tables.values())
+        index_bytes = (
+            len(self._tables) * HASH_TABLE_OVERHEAD
+            + buckets * HASH_ENTRY_BYTES
+            + entries * HASH_ENTRY_BYTES
+        )
+        rule_bytes = len(self.ruleset) * RULE_ENTRY_BYTES
+        return MemoryFootprint(
+            index_bytes=index_bytes,
+            rule_bytes=rule_bytes,
+            breakdown={"tables": len(self._tables) * HASH_TABLE_OVERHEAD,
+                       "buckets": buckets * HASH_ENTRY_BYTES,
+                       "entries": entries * HASH_ENTRY_BYTES},
+        )
+
+    def statistics(self) -> dict[str, object]:
+        stats = super().statistics()
+        stats.update(
+            num_tables=len(self._tables),
+            max_bucket=max((t.max_bucket_size() for t in self._tables.values()), default=0),
+        )
+        return stats
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a ClassBench-like or forwarding rule-set to a file in
+  ClassBench text format.
+* ``inspect``  — print structural statistics of a rule-set file (diversity,
+  iSet coverage, estimated centrality).
+* ``build``    — build a classifier (NuevoMatch or a baseline) over a rule-set
+  file and report its structure: footprint, coverage, error bounds.
+* ``compare``  — build NuevoMatch and a baseline over the same rule-set and
+  report the modelled latency/throughput speedups on a uniform trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_kv, format_table
+from repro.classifiers import CLASSIFIER_REGISTRY
+from repro.core.config import NuevoMatchConfig, RQRMIConfig
+from repro.core.metrics import partition_quality
+from repro.core.nuevomatch import NuevoMatch
+from repro.rules import (
+    CLASSBENCH_APPLICATIONS,
+    generate_classbench,
+    generate_stanford_backbone,
+    parse_classbench_file,
+    write_classbench_file,
+)
+from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
+from repro.traffic import generate_uniform_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NuevoMatch / RQ-RMI packet classification reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic rule-set file")
+    gen.add_argument("output", help="destination file (ClassBench text format)")
+    gen.add_argument("--application", default="acl1",
+                     choices=list(CLASSBENCH_APPLICATIONS) + ["stanford"])
+    gen.add_argument("--rules", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    ins = sub.add_parser("inspect", help="print structural statistics of a rule-set")
+    ins.add_argument("ruleset", help="ClassBench-format rule-set file")
+    ins.add_argument("--isets", type=int, default=4)
+
+    build = sub.add_parser("build", help="build a classifier and report its structure")
+    build.add_argument("ruleset", help="ClassBench-format rule-set file")
+    build.add_argument("--classifier", default="nm",
+                       choices=["nm"] + sorted(CLASSIFIER_REGISTRY))
+    build.add_argument("--remainder", default="tm", choices=sorted(CLASSIFIER_REGISTRY))
+    build.add_argument("--error-threshold", type=int, default=64)
+
+    cmp_ = sub.add_parser("compare", help="compare NuevoMatch against a baseline")
+    cmp_.add_argument("ruleset", help="ClassBench-format rule-set file")
+    cmp_.add_argument("--baseline", default="tm", choices=sorted(CLASSIFIER_REGISTRY))
+    cmp_.add_argument("--packets", type=int, default=500)
+    cmp_.add_argument("--error-threshold", type=int, default=64)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.application == "stanford":
+        ruleset = generate_stanford_backbone(args.rules, seed=args.seed)
+        print(f"generated {len(ruleset)} forwarding rules", file=sys.stderr)
+        # Forwarding rules are single-field; store them as 5-tuple wildcards so
+        # the ClassBench format applies.
+        from repro.rules.fields import FIVE_TUPLE
+        from repro.rules.rule import Rule, RuleSet
+
+        widened = RuleSet(
+            [
+                Rule(
+                    ((0, 0xFFFFFFFF), rule.ranges[0], (0, 65535), (0, 65535), (0, 255)),
+                    priority=rule.priority,
+                    action=rule.action,
+                    rule_id=rule.rule_id,
+                )
+                for rule in ruleset
+            ],
+            FIVE_TUPLE,
+            name=ruleset.name,
+        )
+        write_classbench_file(widened, args.output)
+    else:
+        ruleset = generate_classbench(args.application, args.rules, seed=args.seed)
+        write_classbench_file(ruleset, args.output)
+        print(f"generated {len(ruleset)} {args.application} rules", file=sys.stderr)
+    print(args.output)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    ruleset = parse_classbench_file(args.ruleset)
+    quality = partition_quality(ruleset, num_isets=args.isets)
+    print(format_kv(
+        {
+            "rules": len(ruleset),
+            "fields": len(ruleset.schema),
+            "max diversity": round(quality["max_diversity"], 3),
+            "centrality (lower bound)": quality["centrality_lower_bound"],
+            "remainder fraction": round(quality["remainder_fraction"], 3),
+        },
+        title=f"rule-set {ruleset.name}",
+    ))
+    coverage = quality["cumulative_coverage"]
+    print()
+    print(format_table(
+        ["iSets", "coverage %"],
+        [[i + 1, round(100 * c, 1)] for i, c in enumerate(coverage)],
+    ))
+    return 0
+
+
+def _nm_config(error_threshold: int) -> NuevoMatchConfig:
+    return NuevoMatchConfig(
+        max_isets=4,
+        min_iset_coverage=0.05,
+        rqrmi=RQRMIConfig(error_threshold=error_threshold),
+    )
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    ruleset = parse_classbench_file(args.ruleset)
+    if args.classifier == "nm":
+        classifier = NuevoMatch.build(
+            ruleset,
+            remainder_classifier=args.remainder,
+            config=_nm_config(args.error_threshold),
+        )
+    else:
+        classifier = CLASSIFIER_REGISTRY[args.classifier].build(ruleset)
+    stats = classifier.statistics()
+    printable = {
+        key: (round(value, 4) if isinstance(value, float) else value)
+        for key, value in stats.items()
+        if not isinstance(value, (dict, list))
+    }
+    print(format_kv(printable, title=f"{stats['name']} over {ruleset.name}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ruleset = parse_classbench_file(args.ruleset)
+    baseline_cls = CLASSIFIER_REGISTRY[args.baseline]
+    baseline = baseline_cls.build(ruleset)
+    nm = NuevoMatch.build(
+        ruleset,
+        remainder_classifier=baseline_cls,
+        config=_nm_config(args.error_threshold),
+    )
+    trace = generate_uniform_trace(ruleset, args.packets, seed=1)
+    cost_model = CostModel()
+    baseline_report = evaluate_classifier(baseline, trace, cost_model, cores=2)
+    nm_report = evaluate_nuevomatch(nm, trace, cost_model, mode="parallel")
+    factors = speedup(nm_report, baseline_report)
+    print(format_table(
+        ["classifier", "index KB", "latency ns", "throughput Mpps"],
+        [
+            [baseline.name,
+             round(baseline.memory_footprint().index_bytes / 1024, 1),
+             round(baseline_report.avg_latency_ns, 1),
+             round(baseline_report.throughput_pps / 1e6, 3)],
+            [f"nm({baseline.name})",
+             round(nm.memory_footprint().index_bytes / 1024, 1),
+             round(nm_report.avg_latency_ns, 1),
+             round(nm_report.throughput_pps / 1e6, 3)],
+        ],
+        title=f"NuevoMatch vs {baseline.name} on {ruleset.name} "
+              f"({len(ruleset)} rules, modelled, 2 cores)",
+    ))
+    print(f"\nspeedup: {factors['latency']:.2f}x latency, "
+          f"{factors['throughput']:.2f}x throughput "
+          f"(coverage {nm.coverage:.1%}, {nm.num_isets} iSets)")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "build": _cmd_build,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""iSet partitioning (§3.6).
+
+NuevoMatch handles multi-field classification with overlapping ranges by
+splitting the rule-set into *independent sets* (iSets): each iSet is a group
+of rules whose ranges do **not** overlap in one chosen field, so a single
+one-dimensional RQ-RMI can index them.  The partitioning heuristic (§3.6.1)
+repeatedly finds the largest iSet over any field — using the classical
+interval-scheduling maximisation algorithm per field — removes its rules and
+continues; iSets that remain too small are merged into the *remainder set*
+handled by an external classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rules.rule import Rule, RuleSet
+
+__all__ = ["ISet", "PartitionResult", "max_independent_set", "partition_isets"]
+
+
+@dataclass
+class ISet:
+    """One independent set: rules that do not overlap in field ``dim``.
+
+    ``rules`` are sorted by their range lower bound in ``dim`` — the order of
+    the value array the RQ-RMI predicts indices into.
+    """
+
+    dim: int
+    rules: list[Rule]
+    total_rules: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the original rule-set this iSet holds."""
+        return len(self.rules) / self.total_rules if self.total_rules else 0.0
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The (disjoint) ranges of the rules in field ``dim``, sorted."""
+        return [rule.ranges[self.dim] for rule in self.rules]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of iSet partitioning."""
+
+    isets: list[ISet]
+    remainder: list[Rule]
+    total_rules: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the rule-set covered by the kept iSets."""
+        covered = sum(len(iset) for iset in self.isets)
+        return covered / self.total_rules if self.total_rules else 0.0
+
+    def cumulative_coverage(self) -> list[float]:
+        """Coverage after 1, 2, ... iSets (Table 2 rows)."""
+        out: list[float] = []
+        covered = 0
+        for iset in self.isets:
+            covered += len(iset)
+            out.append(covered / self.total_rules if self.total_rules else 0.0)
+        return out
+
+
+def max_independent_set(rules: list[Rule], dim: int) -> list[Rule]:
+    """Largest subset of ``rules`` with pairwise non-overlapping ranges in ``dim``.
+
+    Classical interval-scheduling maximisation: sort by the range upper bound
+    and greedily take every range that starts after the last accepted one ends.
+    The greedy solution is optimal for this one-dimensional problem.
+    """
+    ordered = sorted(rules, key=lambda rule: rule.ranges[dim][1])
+    chosen: list[Rule] = []
+    last_hi = -1
+    for rule in ordered:
+        lo, hi = rule.ranges[dim]
+        if lo > last_hi:
+            chosen.append(rule)
+            last_hi = hi
+    chosen.sort(key=lambda rule: rule.ranges[dim][0])
+    return chosen
+
+
+def partition_isets(
+    ruleset: RuleSet,
+    max_isets: int | None = None,
+    min_coverage: float = 0.0,
+) -> PartitionResult:
+    """Greedy iSet construction (§3.6.1).
+
+    Repeatedly builds the largest iSet over every field, keeps the largest
+    among them, removes its rules and continues until the input is exhausted,
+    ``max_isets`` iSets have been produced, or the next iSet would fall below
+    ``min_coverage`` (as a fraction of the *original* rule-set).  Rules not
+    covered by the kept iSets form the remainder.
+
+    Args:
+        ruleset: The input rules.
+        max_isets: Optional upper bound on the number of iSets returned.
+        min_coverage: Minimum coverage fraction for an iSet to be kept
+            (0.25 or 0.05 in the paper's experiments, depending on the
+            remainder classifier).
+
+    Returns:
+        A :class:`PartitionResult` with iSets ordered largest-first.
+    """
+    total = len(ruleset)
+    remaining: list[Rule] = list(ruleset.rules)
+    isets: list[ISet] = []
+    num_fields = len(ruleset.schema)
+
+    while remaining:
+        if max_isets is not None and len(isets) >= max_isets:
+            break
+        best: list[Rule] | None = None
+        best_dim = -1
+        for dim in range(num_fields):
+            candidate = max_independent_set(remaining, dim)
+            if best is None or len(candidate) > len(best):
+                best = candidate
+                best_dim = dim
+        if not best:
+            break
+        if total and len(best) / total < min_coverage:
+            break
+        isets.append(ISet(dim=best_dim, rules=best, total_rules=total))
+        chosen_ids = {rule.rule_id for rule in best}
+        remaining = [rule for rule in remaining if rule.rule_id not in chosen_ids]
+
+    return PartitionResult(isets=isets, remainder=remaining, total_rules=total)

@@ -1,0 +1,294 @@
+"""NuevoMatch: the end-to-end classifier (§3.8, Figure 1).
+
+Construction:
+
+1. Partition the rule-set into iSets and a remainder (§3.6).
+2. Train one RQ-RMI per kept iSet.
+3. Build an external classifier (CutSplit / NeuroCuts / TupleMerge / …) over
+   the remainder.
+
+Lookup:
+
+1. Query every iSet: RQ-RMI inference → bounded secondary search → multi-field
+   validation of the candidate rule.
+2. Query the remainder classifier — with the *early termination* optimisation
+   the remainder search is given the best priority found by the iSets as a
+   floor and can stop early (§4).
+3. The selector returns the highest-priority match.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Type
+
+import numpy as np
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+    RULE_ENTRY_BYTES,
+)
+from repro.core.config import NuevoMatchConfig, RQRMIConfig
+from repro.core.isets import ISet, PartitionResult, partition_isets
+from repro.core.rqrmi import RQRMI, RangeSet
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["ISetIndex", "NuevoMatch", "LookupBreakdown"]
+
+
+@dataclass
+class LookupBreakdown:
+    """Per-component cost of one NuevoMatch lookup (Figure 14's breakdown)."""
+
+    inference_ops: int = 0
+    search_accesses: int = 0
+    validation_accesses: int = 0
+    remainder_accesses: int = 0
+
+    def merge(self, other: "LookupBreakdown") -> "LookupBreakdown":
+        return LookupBreakdown(
+            self.inference_ops + other.inference_ops,
+            self.search_accesses + other.search_accesses,
+            self.validation_accesses + other.validation_accesses,
+            self.remainder_accesses + other.remainder_accesses,
+        )
+
+
+class ISetIndex:
+    """One iSet together with its trained RQ-RMI index.
+
+    The iSet's rules, sorted by their range in the iSet's field, form the
+    value array; the RQ-RMI predicts positions in that array.
+    """
+
+    def __init__(self, iset: ISet, schema, rqrmi_config: RQRMIConfig):
+        self.iset = iset
+        self.dim = iset.dim
+        self.rules = iset.rules  # already sorted by range lower bound
+        domain_size = schema[iset.dim].domain_size
+        range_set = RangeSet.from_integer_ranges(iset.ranges(), domain_size)
+        self.model = RQRMI.train(range_set, rqrmi_config)
+        priorities = [rule.priority for rule in self.rules]
+        self.best_priority = min(priorities) if priorities else None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def coverage(self) -> float:
+        return self.iset.coverage
+
+    def lookup(
+        self, values: Sequence[int], trace: LookupTrace, breakdown: LookupBreakdown
+    ) -> Optional[Rule]:
+        """Query the RQ-RMI and validate the candidate rule across all fields."""
+        result = self.model.query(values[self.dim])
+        trace.model_accesses += result.model_accesses
+        # One vectorised inference per stage (8-neuron hidden layer).
+        inference_ops = result.model_accesses * self.model.stages[0][0].hidden_units
+        trace.compute_ops += inference_ops
+        breakdown.inference_ops += inference_ops
+        # Secondary search over the packed value array (§4: multiple 4-byte
+        # field values per cache line, 16 per 64-byte line), binary search over
+        # the error window: the search touches index (not rule) storage.
+        window = 2 * result.error_bound + 1
+        search_lines = max(1, math.ceil(math.log2(window / 16 + 1)))
+        trace.index_accesses += search_lines
+        breakdown.search_accesses += search_lines
+        if result.index is None:
+            return None
+        candidate = self.rules[result.index]
+        trace.rule_accesses += 1
+        trace.compute_ops += len(values)
+        breakdown.validation_accesses += 1
+        if candidate.matches(values):
+            return candidate
+        return None
+
+    def value_array_bytes(self) -> int:
+        """Size of the packed per-field value array used by the secondary search."""
+        return 4 * len(self.rules)
+
+    def size_bytes(self) -> int:
+        return self.model.size_bytes()
+
+    def statistics(self) -> dict[str, object]:
+        stats = self.model.statistics()
+        stats.update(dim=self.dim, num_rules=len(self.rules), coverage=self.coverage)
+        return stats
+
+
+class NuevoMatch(Classifier):
+    """The NuevoMatch classifier: RQ-RMI-indexed iSets plus a remainder."""
+
+    name = "nm"
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        isets: list[ISetIndex],
+        remainder: Classifier,
+        partition: PartitionResult,
+        config: NuevoMatchConfig,
+        build_seconds: float,
+    ):
+        super().__init__(ruleset)
+        self.isets = isets
+        self.remainder = remainder
+        self.partition = partition
+        self.config = config
+        self.build_seconds = build_seconds
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        ruleset: RuleSet,
+        remainder_classifier: Type[Classifier] | str = "tm",
+        config: NuevoMatchConfig | None = None,
+        **remainder_params,
+    ) -> "NuevoMatch":
+        """Construct NuevoMatch over ``ruleset``.
+
+        Args:
+            ruleset: Input rules.
+            remainder_classifier: Classifier class (or registry name: ``"cs"``,
+                ``"nc"``, ``"tm"``, ``"tss"``, ``"linear"``) indexing the
+                remainder set.  The paper pairs NuevoMatch with the same
+                algorithm it is compared against.
+            config: NuevoMatch configuration; defaults follow the paper
+                (error threshold 64, iSet coverage cut-off 25%).
+            **remainder_params: Extra arguments passed to the remainder
+                classifier's ``build`` (e.g. ``binth``).
+        """
+        from repro.classifiers import CLASSIFIER_REGISTRY
+
+        config = config or NuevoMatchConfig()
+        if isinstance(remainder_classifier, str):
+            try:
+                remainder_cls = CLASSIFIER_REGISTRY[remainder_classifier]
+            except KeyError as exc:
+                raise ValueError(
+                    f"unknown remainder classifier {remainder_classifier!r}; "
+                    f"expected one of {sorted(CLASSIFIER_REGISTRY)}"
+                ) from exc
+        else:
+            remainder_cls = remainder_classifier
+
+        start = time.perf_counter()
+        partition = partition_isets(
+            ruleset,
+            max_isets=config.max_isets,
+            min_coverage=config.min_iset_coverage,
+        )
+        isets = [
+            ISetIndex(iset, ruleset.schema, config.rqrmi) for iset in partition.isets
+        ]
+        params = dict(config.remainder_params)
+        params.update(remainder_params)
+        remainder_rules = ruleset.subset(partition.remainder, name=f"{ruleset.name}-remainder")
+        remainder = remainder_cls.build(remainder_rules, **params)
+        build_seconds = time.perf_counter() - start
+        return cls(ruleset, isets, remainder, partition, config, build_seconds)
+
+    # ------------------------------------------------------------------ lookup
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        result, _breakdown = self.classify_detailed(packet)
+        return result
+
+    def classify_detailed(
+        self, packet: Packet | Sequence[int]
+    ) -> tuple[ClassificationResult, LookupBreakdown]:
+        """Traced lookup that also reports the per-component breakdown."""
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        breakdown = LookupBreakdown()
+        best: Rule | None = None
+        for iset in self.isets:
+            candidate = iset.lookup(values, trace, breakdown)
+            if candidate is not None and (best is None or candidate.priority < best.priority):
+                best = candidate
+
+        floor = best.priority if (best is not None and self.config.early_termination) else None
+        remainder_result = self.remainder.classify_with_floor(values, floor)
+        trace = trace.merge(remainder_result.trace)
+        breakdown.remainder_accesses += (
+            remainder_result.trace.index_accesses + remainder_result.trace.rule_accesses
+        )
+        if remainder_result.rule is not None and (
+            best is None or remainder_result.rule.priority < best.priority
+        ):
+            best = remainder_result.rule
+        return ClassificationResult(best, trace), breakdown
+
+    def classify_isets_only(
+        self, packet: Packet | Sequence[int]
+    ) -> tuple[Optional[Rule], LookupTrace]:
+        """Query only the iSets (used by the two-core execution model)."""
+        values = packet.values if isinstance(packet, Packet) else tuple(packet)
+        trace = LookupTrace()
+        breakdown = LookupBreakdown()
+        best: Rule | None = None
+        for iset in self.isets:
+            candidate = iset.lookup(values, trace, breakdown)
+            if candidate is not None and (best is None or candidate.priority < best.priority):
+                best = candidate
+        return best, trace
+
+    # --------------------------------------------------------------- statistics
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of rules indexed by the RQ-RMIs (not in the remainder)."""
+        return self.partition.coverage
+
+    @property
+    def num_isets(self) -> int:
+        return len(self.isets)
+
+    @property
+    def remainder_fraction(self) -> float:
+        return len(self.partition.remainder) / max(1, len(self.ruleset))
+
+    def rqrmi_size_bytes(self) -> int:
+        return sum(iset.size_bytes() for iset in self.isets)
+
+    def value_array_bytes(self) -> int:
+        """Total size of the iSets' packed value arrays (secondary search data)."""
+        return sum(iset.value_array_bytes() for iset in self.isets)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        remainder_fp = self.remainder.memory_footprint()
+        rqrmi_bytes = self.rqrmi_size_bytes()
+        return MemoryFootprint(
+            index_bytes=rqrmi_bytes + remainder_fp.index_bytes,
+            rule_bytes=len(self.ruleset) * RULE_ENTRY_BYTES,
+            breakdown={
+                "rqrmi": rqrmi_bytes,
+                "remainder_index": remainder_fp.index_bytes,
+            },
+        )
+
+    def statistics(self) -> dict[str, object]:
+        stats = super().statistics()
+        stats.update(
+            num_isets=self.num_isets,
+            coverage=self.coverage,
+            remainder_rules=len(self.partition.remainder),
+            remainder_classifier=self.remainder.name,
+            rqrmi_bytes=self.rqrmi_size_bytes(),
+            remainder_index_bytes=self.remainder.memory_footprint().index_bytes,
+            max_error=max((iset.model.max_error for iset in self.isets), default=0),
+            build_seconds=self.build_seconds,
+            training_seconds=sum(
+                iset.model.report.training_seconds for iset in self.isets
+            ),
+        )
+        return stats

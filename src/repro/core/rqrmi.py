@@ -1,0 +1,464 @@
+"""Range-Query Recursive Model Index (RQ-RMI).
+
+An RQ-RMI indexes a set of *disjoint* one-dimensional ranges: given a key it
+returns the index of the range containing the key (or ``None``).  It is the
+paper's core contribution (§3.3–§3.5): a small hierarchy of neural-net
+submodels predicts the index; an analytically computed worst-case error bound
+limits the secondary search around the prediction, and the correctness of that
+bound does not require enumerating the keys inside the ranges — only the
+submodels' transition inputs and the range boundaries are evaluated.
+
+The model is trained stage by stage.  Responsibilities of stage ``i+1`` are
+derived from the transition inputs of stage ``i`` (Theorem A.1); last-stage
+submodels are retrained with doubled sample counts until the error bound meets
+the configured threshold (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RQRMIConfig
+from repro.core.submodel import Submodel
+from repro.core.training import sample_responsibility, train_submodel
+
+__all__ = ["RangeSet", "RQRMI", "RQRMILookup", "TrainingReport"]
+
+#: Intervals are (lo, hi) pairs of scaled floats.
+Interval = tuple[float, float]
+
+
+@dataclass
+class RangeSet:
+    """Disjoint, sorted ranges over an integer key domain, scaled into [0, 1].
+
+    Attributes:
+        lo: Scaled lower bounds, ascending.
+        hi: Scaled upper bounds (inclusive).
+        domain_size: Size of the integer key domain (e.g. ``2**32``).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    domain_size: int
+
+    @classmethod
+    def from_integer_ranges(
+        cls, ranges: list[tuple[int, int]], domain_size: int
+    ) -> "RangeSet":
+        """Build a RangeSet from inclusive integer ranges (must be disjoint)."""
+        if not ranges:
+            return cls(np.empty(0), np.empty(0), domain_size)
+        ordered = sorted(ranges)
+        lo = np.array([r[0] for r in ordered], dtype=np.float64) / domain_size
+        hi = np.array([r[1] for r in ordered], dtype=np.float64) / domain_size
+        for index in range(1, len(ordered)):
+            if ordered[index][0] <= ordered[index - 1][1]:
+                raise ValueError(
+                    f"ranges overlap: {ordered[index - 1]} and {ordered[index]}"
+                )
+        return cls(lo, hi, domain_size)
+
+    def __len__(self) -> int:
+        return int(self.lo.shape[0])
+
+    def scale_key(self, key: int) -> float:
+        """Scale an integer key into the model's [0, 1] input domain."""
+        return key / self.domain_size
+
+    def locate(self, scaled_key: float) -> int | None:
+        """Ground-truth range index for a scaled key (binary search)."""
+        if len(self) == 0:
+            return None
+        position = int(np.searchsorted(self.lo, scaled_key, side="right")) - 1
+        if position < 0:
+            return None
+        if self.lo[position] <= scaled_key <= self.hi[position]:
+            return position
+        return None
+
+
+@dataclass
+class RQRMILookup:
+    """Result of a single RQ-RMI range query."""
+
+    index: int | None
+    predicted_index: int
+    error_bound: int
+    search_accesses: int
+    model_accesses: int
+
+
+@dataclass
+class TrainingReport:
+    """Statistics gathered while training one RQ-RMI model."""
+
+    stage_widths: list[int] = field(default_factory=list)
+    num_ranges: int = 0
+    training_seconds: float = 0.0
+    submodels_trained: int = 0
+    retrain_attempts: int = 0
+    max_error_bound: int = 0
+    error_bounds: list[int] = field(default_factory=list)
+    converged: bool = True
+
+
+class RQRMI:
+    """A trained Range-Query RMI over one :class:`RangeSet`."""
+
+    def __init__(
+        self,
+        stages: list[list[Submodel]],
+        ranges: RangeSet,
+        error_bounds: list[int],
+        report: TrainingReport,
+    ):
+        self.stages = stages
+        self.ranges = ranges
+        self.error_bounds = error_bounds
+        self.report = report
+
+    # ------------------------------------------------------------------ training
+
+    @classmethod
+    def train(cls, ranges: RangeSet, config: RQRMIConfig | None = None) -> "RQRMI":
+        """Train an RQ-RMI for ``ranges`` following §3.5 / Figure 5."""
+        config = config or RQRMIConfig()
+        start = time.perf_counter()
+        num_ranges = len(ranges)
+        widths = config.widths_for(max(1, num_ranges))
+        if widths[0] != 1:
+            raise ValueError("the first stage must have width 1")
+        num_stages = len(widths)
+        rng = np.random.default_rng(config.seed)
+        report = TrainingReport(stage_widths=list(widths), num_ranges=num_ranges)
+
+        stages: list[list[Submodel]] = []
+        responsibilities: list[list[list[Interval]]] = [[[(0.0, 1.0)]]]
+        for stage_index in range(1, num_stages):
+            responsibilities.append([[] for _ in range(widths[stage_index])])
+
+        error_bounds = [0] * widths[-1]
+
+        for stage_index in range(num_stages):
+            stage_models: list[Submodel] = []
+            is_last = stage_index == num_stages - 1
+            for slot in range(widths[stage_index]):
+                intervals = responsibilities[stage_index][slot]
+                if not intervals:
+                    stage_models.append(Submodel.identity(config.hidden_units))
+                    continue
+                samples = config.initial_samples
+                submodel: Submodel | None = None
+                for attempt in range(config.max_retrain_attempts + 1):
+                    dataset = sample_responsibility(
+                        intervals,
+                        ranges.lo,
+                        ranges.hi,
+                        samples,
+                        max(1, num_ranges),
+                        rng,
+                    )
+                    submodel = train_submodel(
+                        dataset,
+                        hidden_units=config.hidden_units,
+                        epochs=config.adam_epochs,
+                        learning_rate=config.learning_rate,
+                        seed=config.seed + stage_index * 1009 + slot,
+                    )
+                    report.submodels_trained += 1
+                    if not is_last:
+                        break
+                    bound = cls._error_bound_for(
+                        stages, submodel, intervals, ranges, widths
+                    )
+                    if bound <= config.error_threshold:
+                        error_bounds[slot] = bound
+                        break
+                    report.retrain_attempts += 1
+                    samples *= 2
+                    error_bounds[slot] = bound
+                assert submodel is not None
+                stage_models.append(submodel)
+            stages.append(stage_models)
+
+            if not is_last:
+                cls._assign_responsibilities(
+                    stages, responsibilities, widths, stage_index
+                )
+
+        report.training_seconds = time.perf_counter() - start
+        report.error_bounds = list(error_bounds)
+        report.max_error_bound = max(error_bounds) if error_bounds else 0
+        report.converged = report.max_error_bound <= config.error_threshold
+        return cls(stages, ranges, error_bounds, report)
+
+    # ----------------------------------------------------------- responsibility
+
+    @staticmethod
+    def _route_partial(
+        stages: list[list[Submodel]], widths: list[int], x: float
+    ) -> tuple[int, float]:
+        """Traverse the trained stages; return (next submodel slot, last output).
+
+        Uses the stages trained so far: after stage ``i`` the returned slot is
+        the stage ``i+1`` submodel index ``floor(M(x) * widths[i+1])``.
+        """
+        slot = 0
+        output = 0.0
+        for stage_index, stage in enumerate(stages):
+            submodel = stage[slot]
+            output = submodel(x)
+            next_width = (
+                widths[stage_index + 1] if stage_index + 1 < len(widths) else None
+            )
+            if next_width is not None:
+                slot = min(int(output * next_width), next_width - 1)
+        return slot, output
+
+    @classmethod
+    def _assign_responsibilities(
+        cls,
+        stages: list[list[Submodel]],
+        responsibilities: list[list[list[Interval]]],
+        widths: list[int],
+        stage_index: int,
+    ) -> None:
+        """Compute stage ``stage_index + 1`` responsibilities (Theorem A.1)."""
+        next_width = widths[stage_index + 1]
+        transition_set: set[float] = {0.0, 1.0}
+        for slot, submodel in enumerate(stages[stage_index]):
+            intervals = responsibilities[stage_index][slot]
+            if not intervals:
+                continue
+            transitions = submodel.transition_inputs(next_width)
+            for a, b in intervals:
+                transition_set.add(a)
+                transition_set.add(b)
+                for t in transitions:
+                    if a <= t <= b:
+                        transition_set.add(t)
+        ordered = sorted(transition_set)
+        buckets: list[list[Interval]] = [[] for _ in range(next_width)]
+        for a, b in zip(ordered[:-1], ordered[1:]):
+            if b <= a:
+                continue
+            midpoint = (a + b) / 2.0
+            slot, _ = cls._route_partial(stages, widths, midpoint)
+            bucket = buckets[slot]
+            if bucket and bucket[-1][1] >= a:
+                bucket[-1] = (bucket[-1][0], b)
+            else:
+                bucket.append((a, b))
+        for slot in range(next_width):
+            responsibilities[stage_index + 1][slot] = buckets[slot]
+
+    # ----------------------------------------------------------------- error bound
+
+    @classmethod
+    def _error_bound_for(
+        cls,
+        trained_stages: list[list[Submodel]],
+        candidate: Submodel,
+        intervals: list[Interval],
+        ranges: RangeSet,
+        widths: list[int],
+    ) -> int:
+        """Worst-case |predicted - true| index error over the responsibility.
+
+        Evaluates the *full* inference function (previous stages + the
+        candidate submodel) at the analytically sufficient points: range
+        boundaries clipped to the responsibility and the candidate's
+        transition inputs (snapped to the adjacent integer keys to absorb
+        floating-point jitter), per Theorem A.13.
+        """
+        num_ranges = len(ranges)
+        if num_ranges == 0:
+            return 0
+        domain = ranges.domain_size
+        pad = 1.0 / domain
+        transitions = np.array(candidate.transition_inputs(num_ranges), dtype=np.float64)
+        points: list[float] = []
+        true_indices: list[int] = []
+        for a, b in intervals:
+            a_pad, b_pad = a - pad, b + pad
+            first = int(np.searchsorted(ranges.hi, a_pad, side="left"))
+            last = int(np.searchsorted(ranges.lo, b_pad, side="right"))
+            if first >= last:
+                continue
+            if len(transitions):
+                mask = (transitions >= a_pad) & (transitions <= b_pad)
+                local_transitions = transitions[mask]
+            else:
+                local_transitions = transitions
+            for range_index in range(first, last):
+                lo = max(float(ranges.lo[range_index]), a_pad)
+                hi = min(float(ranges.hi[range_index]), b_pad)
+                if lo > hi:
+                    continue
+                eval_points = [lo, hi]
+                if len(local_transitions):
+                    inner = local_transitions[
+                        (local_transitions >= lo) & (local_transitions <= hi)
+                    ]
+                    for t in inner:
+                        key = math.floor(t * domain)
+                        for snapped in (key / domain, (key + 1) / domain):
+                            if lo <= snapped <= hi:
+                                eval_points.append(snapped)
+                        eval_points.append(float(t))
+                points.extend(eval_points)
+                true_indices.extend([range_index] * len(eval_points))
+        if not points:
+            return 0
+        predicted = cls._predict_index_static(
+            trained_stages, candidate, widths, np.array(points), num_ranges
+        )
+        return int(np.max(np.abs(predicted - np.array(true_indices, dtype=np.int64))))
+
+    @staticmethod
+    def _predict_index_static(
+        trained_stages: list[list[Submodel]],
+        candidate: Submodel,
+        widths: list[int],
+        xs: np.ndarray,
+        num_ranges: int,
+    ) -> np.ndarray:
+        """Predicted indices for ``xs`` using trained stages + a candidate leaf."""
+        slots = np.zeros(len(xs), dtype=np.int64)
+        outputs = np.zeros(len(xs), dtype=np.float64)
+        for stage_index, stage in enumerate(trained_stages):
+            next_width = widths[stage_index + 1]
+            new_outputs = np.zeros_like(outputs)
+            for slot in np.unique(slots):
+                mask = slots == slot
+                new_outputs[mask] = stage[slot].predict_batch(xs[mask])
+            outputs = new_outputs
+            slots = np.minimum((outputs * next_width).astype(np.int64), next_width - 1)
+        # The candidate leaf handles every point (they lie in its responsibility).
+        leaf_outputs = candidate.predict_batch(xs)
+        predicted = np.minimum(
+            (leaf_outputs * num_ranges).astype(np.int64), num_ranges - 1
+        )
+        return predicted
+
+    # ----------------------------------------------------------------------- lookup
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def stage_widths(self) -> list[int]:
+        return [len(stage) for stage in self.stages]
+
+    @property
+    def max_error(self) -> int:
+        return max(self.error_bounds) if self.error_bounds else 0
+
+    def _route(self, x: float) -> tuple[int, float]:
+        """Full traversal: returns (leaf slot, leaf output)."""
+        slot = 0
+        output = 0.0
+        widths = self.stage_widths
+        for stage_index, stage in enumerate(self.stages):
+            submodel = stage[slot]
+            output = submodel(x)
+            if stage_index + 1 < len(widths):
+                next_width = widths[stage_index + 1]
+                slot = min(int(output * next_width), next_width - 1)
+        return slot, output
+
+    def predict(self, key: int) -> tuple[int, int]:
+        """Predicted range index and the applicable error bound for ``key``."""
+        x = self.ranges.scale_key(key)
+        slot, output = self._route(x)
+        num_ranges = max(1, len(self.ranges))
+        predicted = min(int(output * num_ranges), num_ranges - 1)
+        return predicted, self.error_bounds[slot] if self.error_bounds else 0
+
+    def query(self, key: int) -> RQRMILookup:
+        """Range query: find the range containing ``key`` (§3.8 lookup).
+
+        Performs inference, then a bounded binary search within
+        ``[predicted - error, predicted + error]`` over the sorted ranges.
+        """
+        num_ranges = len(self.ranges)
+        if num_ranges == 0:
+            return RQRMILookup(None, 0, 0, 0, len(self.stages))
+        x = self.ranges.scale_key(key)
+        slot, output = self._route(x)
+        predicted = min(int(output * num_ranges), num_ranges - 1)
+        bound = self.error_bounds[slot] if self.error_bounds else 0
+        lo = max(0, predicted - bound)
+        hi = min(num_ranges - 1, predicted + bound)
+        window = hi - lo + 1
+        search_accesses = max(1, int(math.ceil(math.log2(window + 1))))
+        # Binary search for the candidate range within the window.
+        position = int(np.searchsorted(self.ranges.lo[lo : hi + 1], x, side="right")) - 1
+        index: int | None = None
+        if position >= 0:
+            candidate = lo + position
+            if self.ranges.lo[candidate] <= x <= self.ranges.hi[candidate]:
+                index = candidate
+        return RQRMILookup(
+            index=index,
+            predicted_index=predicted,
+            error_bound=bound,
+            search_accesses=search_accesses,
+            model_accesses=len(self.stages),
+        )
+
+    def query_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised range queries; returns -1 where no range matches."""
+        num_ranges = len(self.ranges)
+        if num_ranges == 0 or len(keys) == 0:
+            return np.full(len(keys), -1, dtype=np.int64)
+        xs = np.asarray(keys, dtype=np.float64) / self.ranges.domain_size
+        slots = np.zeros(len(xs), dtype=np.int64)
+        outputs = np.zeros(len(xs), dtype=np.float64)
+        widths = self.stage_widths
+        for stage_index, stage in enumerate(self.stages):
+            new_outputs = np.zeros_like(outputs)
+            for slot in np.unique(slots):
+                mask = slots == slot
+                new_outputs[mask] = stage[slot].predict_batch(xs[mask])
+            outputs = new_outputs
+            if stage_index + 1 < len(widths):
+                next_width = widths[stage_index + 1]
+                slots = np.minimum(
+                    (outputs * next_width).astype(np.int64), next_width - 1
+                )
+        positions = np.searchsorted(self.ranges.lo, xs, side="right") - 1
+        positions = np.clip(positions, 0, num_ranges - 1)
+        inside = (xs >= self.ranges.lo[positions]) & (xs <= self.ranges.hi[positions])
+        result = np.where(inside, positions, -1)
+        return result.astype(np.int64)
+
+    # --------------------------------------------------------------------- sizing
+
+    def size_bytes(self, float_bytes: int = 4) -> int:
+        """Model storage: submodel weights plus per-leaf error bounds (§5.2.1)."""
+        total = sum(
+            submodel.size_bytes(float_bytes)
+            for stage in self.stages
+            for submodel in stage
+        )
+        total += len(self.error_bounds) * 4
+        return total
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "num_ranges": len(self.ranges),
+            "stage_widths": self.stage_widths,
+            "max_error": self.max_error,
+            "size_bytes": self.size_bytes(),
+            "training_seconds": self.report.training_seconds,
+            "submodels_trained": self.report.submodels_trained,
+            "retrain_attempts": self.report.retrain_attempts,
+            "converged": self.report.converged,
+        }

@@ -1,0 +1,199 @@
+"""RQ-RMI submodel: a tiny neural network analysed as a piece-wise linear function.
+
+Each submodel is the 3-layer fully-connected network of Definition 3.1:
+
+    N(x) = ReLU(x * w1 + b1) @ w2 + b2          (scalar input, scalar output)
+    M(x) = H(N(x))                              (output trimmed to [0, 1))
+
+Because ReLU of an affine function of a scalar is piece-wise linear, ``M`` is
+piece-wise linear (Corollary 3.2).  That is the property the whole paper rests
+on: the *trigger inputs* (where the slope changes) and the *transition inputs*
+(where the quantised output ``floor(M(x) * W)`` changes) can be found
+analytically, which makes the responsibility computation and the worst-case
+error bound computation exact without enumerating keys (Appendix A).
+
+This module implements the submodel forward pass (scalar and vectorised), the
+trigger/transition-input computations, and (de)serialisation of the weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Submodel", "OUTPUT_EPSILON"]
+
+#: M(x) is trimmed to [0, 1 - OUTPUT_EPSILON] so floor(M(x) * W) < W always.
+OUTPUT_EPSILON = 1e-9
+
+
+@dataclass
+class Submodel:
+    """One trained RQ-RMI submodel (Definition 3.1).
+
+    Attributes:
+        w1: Hidden-layer weights, shape ``(hidden,)``.
+        b1: Hidden-layer biases, shape ``(hidden,)``.
+        w2: Output-layer weights, shape ``(hidden,)``.
+        b2: Output bias (scalar).
+    """
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: float
+
+    def __post_init__(self) -> None:
+        self.w1 = np.asarray(self.w1, dtype=np.float64).reshape(-1)
+        self.b1 = np.asarray(self.b1, dtype=np.float64).reshape(-1)
+        self.w2 = np.asarray(self.w2, dtype=np.float64).reshape(-1)
+        self.b2 = float(self.b2)
+        if not (self.w1.shape == self.b1.shape == self.w2.shape):
+            raise ValueError("w1, b1 and w2 must have the same length")
+
+    # -- forward pass ------------------------------------------------------------
+
+    @property
+    def hidden_units(self) -> int:
+        return int(self.w1.shape[0])
+
+    def raw(self, x: float) -> float:
+        """The untrimmed network output N(x)."""
+        hidden = np.maximum(self.w1 * x + self.b1, 0.0)
+        return float(hidden @ self.w2 + self.b2)
+
+    def raw_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised N(x) for an array of inputs."""
+        xs = np.asarray(xs, dtype=np.float64).reshape(-1, 1)
+        hidden = np.maximum(xs * self.w1 + self.b1, 0.0)
+        return hidden @ self.w2 + self.b2
+
+    def __call__(self, x: float) -> float:
+        """The trimmed output M(x) in [0, 1)."""
+        return min(max(self.raw(x), 0.0), 1.0 - OUTPUT_EPSILON)
+
+    def predict_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised M(x)."""
+        return np.clip(self.raw_batch(xs), 0.0, 1.0 - OUTPUT_EPSILON)
+
+    def bucket(self, x: float, width: int) -> int:
+        """The quantised output ``floor(M(x) * width)`` in ``[0, width)``."""
+        return min(int(self(x) * width), width - 1)
+
+    def bucket_batch(self, xs: np.ndarray, width: int) -> np.ndarray:
+        return np.minimum(
+            (self.predict_batch(xs) * width).astype(np.int64), width - 1
+        )
+
+    # -- piece-wise linear analysis --------------------------------------------------
+
+    def trigger_inputs(self, domain: tuple[float, float] = (0.0, 1.0)) -> list[float]:
+        """Inputs where M changes slope, plus the domain boundaries (Def. A.5).
+
+        Slope changes happen where a ReLU unit switches on/off
+        (``w1[k] * x + b1[k] = 0``) and where the output trim H starts or stops
+        clipping (``N(x) = 0`` or ``N(x) = 1``).
+        """
+        lo, hi = domain
+        candidates: set[float] = {lo, hi}
+        # ReLU kinks.
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for k in range(self.hidden_units):
+                if self.w1[k] != 0.0:
+                    kink = -self.b1[k] / self.w1[k]
+                    if np.isfinite(kink) and lo < kink < hi:
+                        candidates.add(float(kink))
+        # Clipping kinks: solve N(x) = level on each linear piece of N.
+        kinks = sorted(candidates)
+        extra: set[float] = set()
+        for a, b in zip(kinks[:-1], kinks[1:]):
+            na, nb = self.raw(a), self.raw(b)
+            if na == nb:
+                continue
+            for level in (0.0, 1.0 - OUTPUT_EPSILON):
+                if (na - level) * (nb - level) < 0.0:
+                    x = a + (level - na) * (b - a) / (nb - na)
+                    if lo < x < hi:
+                        extra.add(float(x))
+        candidates |= extra
+        return sorted(candidates)
+
+    def transition_inputs(
+        self, width: int, domain: tuple[float, float] = (0.0, 1.0)
+    ) -> list[float]:
+        """Inputs where ``floor(M(x) * width)`` changes value (Def. A.6).
+
+        Computed per linear segment between adjacent trigger inputs by
+        intersecting the segment with the quantisation levels ``y = k / width``
+        (Lemma A.8).
+        """
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        triggers = self.trigger_inputs(domain)
+        transitions: set[float] = set()
+        for a, b in zip(triggers[:-1], triggers[1:]):
+            ma, mb = self(a), self(b)
+            qa, qb = int(ma * width), int(mb * width)
+            if qa == qb:
+                continue
+            lo_q, hi_q = min(qa, qb), max(qa, qb)
+            if ma == mb:
+                continue
+            for level_index in range(lo_q + 1, hi_q + 1):
+                level = level_index / width
+                # M is linear on [a, b]; solve M(x) = level.
+                x = a + (level - ma) * (b - a) / (mb - ma)
+                if domain[0] <= x <= domain[1]:
+                    transitions.add(float(x))
+        # Trigger inputs themselves may be transition inputs (slope change with
+        # a bucket change across them); including them is harmless and keeps
+        # the evaluation-point set conservative.
+        for t in triggers:
+            transitions.add(t)
+        return sorted(transitions)
+
+    def max_error_on_points(
+        self, points: np.ndarray, true_indices: np.ndarray, width: int
+    ) -> int:
+        """Largest |floor(M(p) * width) - true_index| over the given points."""
+        if len(points) == 0:
+            return 0
+        predicted = self.bucket_batch(np.asarray(points, dtype=np.float64), width)
+        return int(np.max(np.abs(predicted - np.asarray(true_indices, dtype=np.int64))))
+
+    # -- serialisation / size --------------------------------------------------------
+
+    def size_bytes(self, float_bytes: int = 4) -> int:
+        """Storage size of the weights (single precision by default, as in §4)."""
+        return (3 * self.hidden_units + 1) * float_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "w1": self.w1.tolist(),
+            "b1": self.b1.tolist(),
+            "w2": self.w2.tolist(),
+            "b2": self.b2,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Submodel":
+        return cls(
+            np.asarray(data["w1"], dtype=np.float64),
+            np.asarray(data["b1"], dtype=np.float64),
+            np.asarray(data["w2"], dtype=np.float64),
+            float(data["b2"]),
+        )
+
+    @classmethod
+    def identity(cls, hidden_units: int = 8) -> "Submodel":
+        """A submodel approximating M(x) = x, used as a safe fallback."""
+        knots = np.linspace(0.0, 1.0, hidden_units, endpoint=False)
+        w1 = np.ones(hidden_units)
+        b1 = -knots
+        # Sum of ReLU(x - knot_k) * w2_k == x for x in [0, 1] when w2 chosen so
+        # the cumulative slope is 1 over each segment: first unit slope 1, rest 0.
+        w2 = np.zeros(hidden_units)
+        w2[0] = 1.0
+        return cls(w1, b1, w2, 0.0)

@@ -1,0 +1,68 @@
+"""Rule model, generators and parsers.
+
+Public API:
+
+* :class:`~repro.rules.fields.FieldSchema`, :data:`~repro.rules.fields.FIVE_TUPLE`,
+  :data:`~repro.rules.fields.FORWARDING` — field schemas.
+* :class:`~repro.rules.rule.Rule`, :class:`~repro.rules.rule.Packet`,
+  :class:`~repro.rules.rule.RuleSet` — the data model.
+* :func:`~repro.rules.classbench.generate_classbench` — ClassBench-like
+  synthetic rule-sets (ACL/FW/IPC).
+* :func:`~repro.rules.stanford.generate_stanford_backbone` — forwarding tables.
+* :func:`~repro.rules.parser.parse_classbench_file` /
+  :func:`~repro.rules.parser.write_classbench_file` — the ClassBench text format.
+"""
+
+from repro.rules.fields import (
+    FIVE_TUPLE,
+    FORWARDING,
+    FieldSchema,
+    FieldSpec,
+    int_to_ip,
+    ip_to_int,
+    merge_ranges,
+    prefix_length_of_range,
+    prefix_to_range,
+    range_is_prefix,
+    range_to_prefixes,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+from repro.rules.classbench import (
+    APPLICATION_PROFILES,
+    CLASSBENCH_APPLICATIONS,
+    blend_rulesets,
+    generate_classbench,
+    generate_low_diversity,
+)
+from repro.rules.stanford import generate_stanford_backbone
+from repro.rules.parser import (
+    parse_classbench_file,
+    parse_classbench_lines,
+    write_classbench_file,
+)
+
+__all__ = [
+    "FieldSchema",
+    "FieldSpec",
+    "FIVE_TUPLE",
+    "FORWARDING",
+    "Packet",
+    "Rule",
+    "RuleSet",
+    "APPLICATION_PROFILES",
+    "CLASSBENCH_APPLICATIONS",
+    "generate_classbench",
+    "generate_low_diversity",
+    "generate_stanford_backbone",
+    "blend_rulesets",
+    "parse_classbench_file",
+    "parse_classbench_lines",
+    "write_classbench_file",
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_to_range",
+    "range_to_prefixes",
+    "range_is_prefix",
+    "prefix_length_of_range",
+    "merge_ranges",
+]

@@ -1,0 +1,398 @@
+"""ClassBench-like synthetic rule-set generator.
+
+The paper evaluates on rule-sets produced by ClassBench [Taylor & Turner 2007]
+for three application classes — Access Control Lists (ACL), Firewalls (FW) and
+IP Chains (IPC) — at sizes 1K, 10K, 100K and 500K, twelve distinct
+applications in total (ACL1–5, FW1–5, IPC1–2).
+
+The original ClassBench tool and its seed files are not available offline, so
+this module generates rule-sets with the *structural* properties ClassBench
+controls and that the paper's experiments are sensitive to:
+
+* per-application IP prefix-length distributions (ACL rules carry long, highly
+  diverse prefixes; FW rules carry many wildcards and short prefixes; IPC is
+  intermediate);
+* port-range classes: wildcard, well-known exact ports, the ephemeral range,
+  arbitrary ranges, exact ports;
+* protocol mix (TCP/UDP/ICMP/wildcard);
+* address locality: addresses are drawn from a hierarchy of shared network
+  seeds so prefixes nest and overlap the way real filter sets do;
+* value diversity per field — the property that drives iSet coverage (§3.7).
+
+See DESIGN.md §4 for why this substitution preserves the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.rules.fields import FIVE_TUPLE, prefix_to_range
+from repro.rules.rule import Rule, RuleSet
+
+__all__ = [
+    "ApplicationProfile",
+    "APPLICATION_PROFILES",
+    "CLASSBENCH_APPLICATIONS",
+    "generate_classbench",
+    "generate_low_diversity",
+    "blend_rulesets",
+]
+
+# Well-known destination ports that appear in real filter sets.
+_WELL_KNOWN_PORTS = [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 179, 443,
+                     445, 514, 993, 995, 1433, 1521, 3306, 3389, 5060, 8080, 8443]
+
+_PROTO_TCP = 6
+_PROTO_UDP = 17
+_PROTO_ICMP = 1
+
+# Port class identifiers used in the profiles below.
+_PORT_WILDCARD = "wc"
+_PORT_WELL_KNOWN = "wk"
+_PORT_EPHEMERAL = "eph"
+_PORT_RANGE = "range"
+_PORT_EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Structural parameters of one ClassBench application class.
+
+    Attributes:
+        name: Application name, e.g. ``"acl1"``.
+        family: One of ``"acl"``, ``"fw"``, ``"ipc"``.
+        src_prefix_weights: Mapping prefix-length -> weight for the source IP.
+        dst_prefix_weights: Mapping prefix-length -> weight for the destination IP.
+        src_port_classes: Mapping port-class -> weight for the source port.
+        dst_port_classes: Mapping port-class -> weight for the destination port.
+        proto_weights: Mapping protocol value (or ``None`` for wildcard) -> weight.
+        network_seeds: Number of distinct top-level /16 networks addresses are
+            drawn from; smaller values create more nesting/overlap.
+        address_skew: Zipf-like skew over the network seeds (0 = uniform).
+    """
+
+    name: str
+    family: str
+    src_prefix_weights: dict[int, float]
+    dst_prefix_weights: dict[int, float]
+    src_port_classes: dict[str, float]
+    dst_port_classes: dict[str, float]
+    proto_weights: dict[int | None, float]
+    network_seeds: int = 256
+    address_skew: float = 0.8
+
+
+def _acl_profile(name: str, seeds: int, skew: float) -> ApplicationProfile:
+    """ACL-like: long, diverse prefixes; mostly exact/well-known dst ports."""
+    return ApplicationProfile(
+        name=name,
+        family="acl",
+        src_prefix_weights={0: 0.05, 8: 0.02, 16: 0.08, 24: 0.35, 28: 0.15, 32: 0.35},
+        dst_prefix_weights={0: 0.02, 16: 0.05, 24: 0.33, 28: 0.20, 32: 0.40},
+        src_port_classes={_PORT_WILDCARD: 0.80, _PORT_EPHEMERAL: 0.15, _PORT_EXACT: 0.05},
+        dst_port_classes={
+            _PORT_WILDCARD: 0.15,
+            _PORT_WELL_KNOWN: 0.55,
+            _PORT_RANGE: 0.10,
+            _PORT_EXACT: 0.20,
+        },
+        proto_weights={_PROTO_TCP: 0.62, _PROTO_UDP: 0.25, _PROTO_ICMP: 0.05, None: 0.08},
+        network_seeds=seeds,
+        address_skew=skew,
+    )
+
+
+def _fw_profile(name: str, seeds: int, skew: float) -> ApplicationProfile:
+    """Firewall-like: many wildcards and short prefixes, wide port ranges."""
+    return ApplicationProfile(
+        name=name,
+        family="fw",
+        src_prefix_weights={0: 0.30, 8: 0.10, 16: 0.18, 24: 0.22, 32: 0.20},
+        dst_prefix_weights={0: 0.18, 8: 0.08, 16: 0.20, 24: 0.28, 32: 0.26},
+        src_port_classes={_PORT_WILDCARD: 0.65, _PORT_EPHEMERAL: 0.20, _PORT_RANGE: 0.15},
+        dst_port_classes={
+            _PORT_WILDCARD: 0.30,
+            _PORT_WELL_KNOWN: 0.30,
+            _PORT_RANGE: 0.25,
+            _PORT_EXACT: 0.15,
+        },
+        proto_weights={_PROTO_TCP: 0.50, _PROTO_UDP: 0.28, _PROTO_ICMP: 0.07, None: 0.15},
+        network_seeds=seeds,
+        address_skew=skew,
+    )
+
+
+def _ipc_profile(name: str, seeds: int, skew: float) -> ApplicationProfile:
+    """IP-chain-like: intermediate between ACL and FW."""
+    return ApplicationProfile(
+        name=name,
+        family="ipc",
+        src_prefix_weights={0: 0.15, 16: 0.15, 24: 0.30, 28: 0.10, 32: 0.30},
+        dst_prefix_weights={0: 0.10, 16: 0.12, 24: 0.33, 28: 0.15, 32: 0.30},
+        src_port_classes={_PORT_WILDCARD: 0.70, _PORT_EPHEMERAL: 0.15, _PORT_EXACT: 0.15},
+        dst_port_classes={
+            _PORT_WILDCARD: 0.25,
+            _PORT_WELL_KNOWN: 0.40,
+            _PORT_RANGE: 0.15,
+            _PORT_EXACT: 0.20,
+        },
+        proto_weights={_PROTO_TCP: 0.55, _PROTO_UDP: 0.28, _PROTO_ICMP: 0.05, None: 0.12},
+        network_seeds=seeds,
+        address_skew=skew,
+    )
+
+
+#: The twelve applications evaluated in the paper (Figures 8, 9, 17).
+APPLICATION_PROFILES: dict[str, ApplicationProfile] = {
+    "acl1": _acl_profile("acl1", seeds=512, skew=0.6),
+    "acl2": _acl_profile("acl2", seeds=384, skew=0.8),
+    "acl3": _acl_profile("acl3", seeds=256, skew=0.9),
+    "acl4": _acl_profile("acl4", seeds=448, skew=0.7),
+    "acl5": _acl_profile("acl5", seeds=320, skew=1.0),
+    "fw1": _fw_profile("fw1", seeds=192, skew=0.9),
+    "fw2": _fw_profile("fw2", seeds=160, skew=1.0),
+    "fw3": _fw_profile("fw3", seeds=224, skew=0.8),
+    "fw4": _fw_profile("fw4", seeds=128, skew=1.1),
+    "fw5": _fw_profile("fw5", seeds=208, skew=0.9),
+    "ipc1": _ipc_profile("ipc1", seeds=288, skew=0.8),
+    "ipc2": _ipc_profile("ipc2", seeds=240, skew=0.9),
+}
+
+#: Names in the order used by the paper's figures.
+CLASSBENCH_APPLICATIONS: tuple[str, ...] = tuple(APPLICATION_PROFILES)
+
+
+def _weighted_choice(rng: random.Random, weights: dict) -> object:
+    keys = list(weights)
+    total = sum(weights.values())
+    pick = rng.random() * total
+    acc = 0.0
+    for key in keys:
+        acc += weights[key]
+        if pick <= acc:
+            return key
+    return keys[-1]
+
+
+def _zipf_index(rng: random.Random, count: int, skew: float) -> int:
+    """Pick an index in [0, count) with Zipf-like skew (0 = uniform)."""
+    if skew <= 0:
+        return rng.randrange(count)
+    # Inverse-CDF sampling of a truncated Pareto-ish distribution; cheap and
+    # good enough for generating address locality.
+    u = rng.random()
+    index = int(count * (u ** (1.0 + skew)))
+    return min(index, count - 1)
+
+
+class _AddressPool:
+    """Hierarchical IPv4 address pool creating nested, overlapping prefixes."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        network_seeds: int,
+        skew: float,
+        subnets_per_network: int = 32,
+        host_spread: float = 0.5,
+    ):
+        self._rng = rng
+        self._skew = skew
+        self._subnets_per_network = max(4, subnets_per_network)
+        self._host_spread = min(max(host_spread, 0.0), 1.0)
+        # Top-level /16 networks; subnets and hosts are derived from them so
+        # that longer prefixes nest inside shorter ones, as in real rule sets.
+        self._networks = [rng.randrange(0, 1 << 16) << 16 for _ in range(network_seeds)]
+        self._subnet_cache: dict[tuple[int, int], list[int]] = {}
+
+    def address(self, prefix_len: int) -> int:
+        """A random address whose ``prefix_len``-bit prefix nests in the pool."""
+        # Long prefixes (hosts and small subnets) are spread over the whole
+        # address space with probability ``host_spread``; the rest nest inside
+        # the pool's networks.  Real filter sets grow mostly by adding distinct
+        # hosts, which is why larger ClassBench sets have higher diversity.
+        if prefix_len >= 25 and self._rng.random() < self._host_spread:
+            return self._rng.randrange(0, 1 << 32)
+        network = self._networks[
+            _zipf_index(self._rng, len(self._networks), self._skew)
+        ]
+        if prefix_len <= 16:
+            return network
+        # Reuse a bounded set of subnets per network so /24s repeat and overlap
+        # with /28 and /32 rules below them.
+        key = (network, min(prefix_len, 24))
+        subnets = self._subnet_cache.get(key)
+        if subnets is None:
+            subnets = [
+                network | (self._rng.randrange(0, 1 << 8) << 8)
+                for _ in range(self._subnets_per_network)
+            ]
+            self._subnet_cache[key] = subnets
+        subnet = subnets[_zipf_index(self._rng, len(subnets), self._skew * 0.5)]
+        if prefix_len <= 24:
+            return subnet
+        return subnet | self._rng.randrange(0, 1 << 8)
+
+
+def _make_port_range(rng: random.Random, port_class: str) -> tuple[int, int]:
+    if port_class == _PORT_WILDCARD:
+        return (0, 65535)
+    if port_class == _PORT_EPHEMERAL:
+        return (1024, 65535)
+    if port_class == _PORT_WELL_KNOWN:
+        port = rng.choice(_WELL_KNOWN_PORTS)
+        return (port, port)
+    if port_class == _PORT_EXACT:
+        port = rng.randrange(1, 65536)
+        return (port, port)
+    if port_class == _PORT_RANGE:
+        lo = rng.randrange(0, 65000)
+        width = rng.choice([3, 7, 15, 31, 63, 255, 1023])
+        return (lo, min(65535, lo + width))
+    raise ValueError(f"unknown port class {port_class!r}")
+
+
+def generate_classbench(
+    application: str,
+    num_rules: int,
+    seed: int = 0,
+    schema=FIVE_TUPLE,
+) -> RuleSet:
+    """Generate a ClassBench-like 5-tuple rule-set.
+
+    Args:
+        application: One of :data:`CLASSBENCH_APPLICATIONS` (``acl1`` … ``ipc2``).
+        num_rules: Number of distinct rules to generate.
+        seed: RNG seed; the same (application, num_rules, seed) triple always
+            produces the same rule-set.
+        schema: Field schema; defaults to the classic 5-tuple.
+
+    Returns:
+        A :class:`RuleSet` with ``num_rules`` unique rules, priorities equal to
+        their position (earlier rules win).
+    """
+    profile = APPLICATION_PROFILES.get(application)
+    if profile is None:
+        raise ValueError(
+            f"unknown application {application!r}; "
+            f"expected one of {sorted(APPLICATION_PROFILES)}"
+        )
+    if num_rules <= 0:
+        raise ValueError("num_rules must be positive")
+
+    # zlib.crc32 keeps the stream independent of PYTHONHASHSEED so the same
+    # (application, num_rules, seed) triple is reproducible across processes.
+    rng = random.Random((zlib.crc32(application.encode()) & 0xFFFF) ^ (seed * 0x9E3779B1))
+
+    # ClassBench grows the address space with the filter-set size: larger
+    # rule-sets draw from more networks and more subnets per network, so field
+    # diversity — and therefore iSet coverage (§3.7, Table 2) — improves with
+    # scale, while small sets reuse few addresses and overlap heavily.
+    size_factor = num_rules / 20_000.0
+    effective_seeds = int(min(max(profile.network_seeds * size_factor, 48), 32_768))
+    subnets_per_network = int(min(max(num_rules / effective_seeds, 8), 256))
+    effective_skew = profile.address_skew * min(
+        1.6, max(0.35, (2_000.0 / max(num_rules, 1)) ** 0.3)
+    )
+    host_spread = min(0.95, max(0.15, 0.9 * size_factor**0.5))
+    src_pool = _AddressPool(
+        rng, effective_seeds, effective_skew, subnets_per_network, host_spread
+    )
+    dst_pool = _AddressPool(
+        rng, effective_seeds, effective_skew, subnets_per_network, host_spread
+    )
+
+    seen: set[tuple] = set()
+    rules: list[Rule] = []
+    attempts = 0
+    max_attempts = num_rules * 50
+    while len(rules) < num_rules and attempts < max_attempts:
+        attempts += 1
+        src_len = _weighted_choice(rng, profile.src_prefix_weights)
+        dst_len = _weighted_choice(rng, profile.dst_prefix_weights)
+        src_range = prefix_to_range(src_pool.address(src_len), src_len)
+        dst_range = prefix_to_range(dst_pool.address(dst_len), dst_len)
+        sport = _make_port_range(rng, _weighted_choice(rng, profile.src_port_classes))
+        dport = _make_port_range(rng, _weighted_choice(rng, profile.dst_port_classes))
+        proto = _weighted_choice(rng, profile.proto_weights)
+        proto_range = (0, 255) if proto is None else (proto, proto)
+        ranges = (src_range, dst_range, sport, dport, proto_range)
+        if ranges in seen:
+            continue
+        seen.add(ranges)
+        index = len(rules)
+        rules.append(Rule(ranges, priority=index, action=f"a{index}", rule_id=index))
+    if len(rules) < num_rules:
+        raise RuntimeError(
+            f"could not generate {num_rules} unique rules for {application!r} "
+            f"(got {len(rules)})"
+        )
+    return RuleSet(rules, schema, name=f"{application}-{num_rules}")
+
+
+def generate_low_diversity(
+    num_rules: int,
+    values_per_field: int = 8,
+    seed: int = 0,
+    schema=FIVE_TUPLE,
+) -> RuleSet:
+    """Low-diversity rule-set built as a Cartesian product of few exact values.
+
+    Used by the Table 3 experiment (§5.3.3): the paper synthesises rules as a
+    Cartesian product of a small number of exact values per field (no ranges),
+    yielding a rule-set whose per-field diversity — and therefore iSet
+    coverage — is very poor.
+    """
+    rng = random.Random(seed)
+    pools = [
+        sorted(rng.sample(range(spec.domain_size), min(values_per_field, spec.domain_size)))
+        for spec in schema
+    ]
+    seen: set[tuple] = set()
+    rules: list[Rule] = []
+    attempts = 0
+    max_attempts = num_rules * 100
+    while len(rules) < num_rules and attempts < max_attempts:
+        attempts += 1
+        values = tuple(rng.choice(pool) for pool in pools)
+        if values in seen:
+            continue
+        seen.add(values)
+        index = len(rules)
+        ranges = tuple((value, value) for value in values)
+        rules.append(Rule(ranges, priority=index, action=f"a{index}", rule_id=index))
+    if len(rules) < num_rules:
+        raise RuntimeError(
+            "cannot generate the requested number of unique low-diversity rules; "
+            "increase values_per_field"
+        )
+    return RuleSet(rules, schema, name=f"low-diversity-{num_rules}")
+
+
+def blend_rulesets(base: RuleSet, replacement: RuleSet, fraction: float, seed: int = 0) -> RuleSet:
+    """Replace ``fraction`` of ``base`` rules with rules from ``replacement``.
+
+    Keeps the total number of rules identical to ``base`` (as in §5.3.3's
+    blended rule-sets).  Priorities and rule ids are re-assigned by position.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if base.schema != replacement.schema:
+        raise ValueError("rule-sets must share a schema to be blended")
+    rng = random.Random(seed)
+    total = len(base)
+    replace_count = int(round(total * fraction))
+    if replace_count > len(replacement):
+        raise ValueError("replacement rule-set is too small for the requested fraction")
+    keep_indexes = set(range(total))
+    for index in rng.sample(range(total), replace_count):
+        keep_indexes.discard(index)
+    replacement_rules = rng.sample(list(replacement.rules), replace_count)
+    blended: list[Rule] = []
+    replacement_iter = iter(replacement_rules)
+    for index in range(total):
+        source = base[index] if index in keep_indexes else next(replacement_iter)
+        blended.append(Rule(source.ranges, priority=index, action=source.action, rule_id=index))
+    return RuleSet(blended, base.schema, name=f"{base.name}+{fraction:.0%}-low-div")

@@ -1,0 +1,252 @@
+"""Field definitions and conversions between prefixes, ranges and values.
+
+A classification *field* is a fixed-width unsigned integer (e.g. a 32-bit IPv4
+address or a 16-bit transport port).  Rules constrain fields with inclusive
+integer ranges ``[lo, hi]``; prefixes and exact values are special cases of
+ranges.  This module holds the field schema used across the library plus the
+helpers to move between the textual ClassBench representation (dotted-quad
+prefixes, port ranges, protocol/mask) and integer ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "FieldSpec",
+    "FieldSchema",
+    "FIVE_TUPLE",
+    "FORWARDING",
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_to_range",
+    "range_to_prefixes",
+    "range_is_prefix",
+    "prefix_length_of_range",
+]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A single match field.
+
+    Attributes:
+        name: Human-readable field name (e.g. ``"src_ip"``).
+        bits: Field width in bits; values lie in ``[0, 2**bits - 1]``.
+        kind: Informal category used by generators and parsers, one of
+            ``"ip"``, ``"port"``, ``"proto"`` or ``"int"``.
+    """
+
+    name: str
+    bits: int
+    kind: str = "int"
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value for this field."""
+        return (1 << self.bits) - 1
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct values the field can take."""
+        return 1 << self.bits
+
+    def full_range(self) -> tuple[int, int]:
+        """The wildcard range covering the whole field domain."""
+        return (0, self.max_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FieldSpec({self.name!r}, bits={self.bits}, kind={self.kind!r})"
+
+
+class FieldSchema:
+    """An ordered collection of :class:`FieldSpec` describing rule structure.
+
+    The schema defines the number of dimensions, their names and widths.  All
+    rules and packets in a :class:`~repro.rules.rule.RuleSet` share one schema.
+    """
+
+    def __init__(self, specs: Sequence[FieldSpec]):
+        if not specs:
+            raise ValueError("a FieldSchema needs at least one field")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+        self._specs = tuple(specs)
+        self._index = {s.name: i for i, s in enumerate(self._specs)}
+
+    @property
+    def specs(self) -> tuple[FieldSpec, ...]:
+        return self._specs
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __getitem__(self, key: int | str) -> FieldSpec:
+        if isinstance(key, str):
+            return self._specs[self._index[key]]
+        return self._specs[key]
+
+    def index_of(self, name: str) -> int:
+        """Return the dimension index of the field called ``name``."""
+        return self._index[name]
+
+    def full_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Wildcard ranges for every field (a rule matching everything)."""
+        return tuple(s.full_range() for s in self._specs)
+
+    def validate_ranges(self, ranges: Sequence[tuple[int, int]]) -> None:
+        """Raise ``ValueError`` if ``ranges`` does not fit this schema."""
+        if len(ranges) != len(self._specs):
+            raise ValueError(
+                f"expected {len(self._specs)} ranges, got {len(ranges)}"
+            )
+        for (lo, hi), spec in zip(ranges, self._specs):
+            if lo > hi:
+                raise ValueError(f"{spec.name}: empty range [{lo}, {hi}]")
+            if lo < 0 or hi > spec.max_value:
+                raise ValueError(
+                    f"{spec.name}: range [{lo}, {hi}] outside "
+                    f"[0, {spec.max_value}]"
+                )
+
+    def validate_values(self, values: Sequence[int]) -> None:
+        """Raise ``ValueError`` if packet ``values`` do not fit this schema."""
+        if len(values) != len(self._specs):
+            raise ValueError(
+                f"expected {len(self._specs)} values, got {len(values)}"
+            )
+        for value, spec in zip(values, self._specs):
+            if value < 0 or value > spec.max_value:
+                raise ValueError(
+                    f"{spec.name}: value {value} outside [0, {spec.max_value}]"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FieldSchema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FieldSchema({list(self.names)})"
+
+
+#: The classic 5-tuple schema used by ClassBench and the paper's evaluation.
+FIVE_TUPLE = FieldSchema(
+    [
+        FieldSpec("src_ip", 32, "ip"),
+        FieldSpec("dst_ip", 32, "ip"),
+        FieldSpec("src_port", 16, "port"),
+        FieldSpec("dst_port", 16, "port"),
+        FieldSpec("protocol", 8, "proto"),
+    ]
+)
+
+#: Single destination-IP schema used by the Stanford backbone forwarding sets.
+FORWARDING = FieldSchema([FieldSpec("dst_ip", 32, "ip")])
+
+
+def ip_to_int(text: str) -> int:
+    """Convert a dotted-quad IPv4 address to its 32-bit integer value."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if octet < 0 or octet > 255:
+            raise ValueError(f"octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 address string."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise ValueError(f"value {value} is not a 32-bit address")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_to_range(value: int, prefix_len: int, bits: int = 32) -> tuple[int, int]:
+    """Convert a ``value/prefix_len`` prefix to an inclusive integer range.
+
+    Args:
+        value: The prefix value (host bits are ignored).
+        prefix_len: Number of significant leading bits, ``0 <= prefix_len <= bits``.
+        bits: Field width.
+
+    Returns:
+        ``(lo, hi)`` covering every value matching the prefix.
+    """
+    if prefix_len < 0 or prefix_len > bits:
+        raise ValueError(f"prefix length {prefix_len} outside [0, {bits}]")
+    if prefix_len == 0:
+        return (0, (1 << bits) - 1)
+    host_bits = bits - prefix_len
+    mask = ((1 << prefix_len) - 1) << host_bits
+    lo = value & mask
+    hi = lo | ((1 << host_bits) - 1)
+    return (lo, hi)
+
+
+def range_is_prefix(lo: int, hi: int, bits: int = 32) -> bool:
+    """Return True if ``[lo, hi]`` is exactly expressible as a single prefix."""
+    span = hi - lo + 1
+    if span & (span - 1):
+        return False  # not a power of two
+    return lo % span == 0
+
+
+def prefix_length_of_range(lo: int, hi: int, bits: int = 32) -> int | None:
+    """Prefix length of ``[lo, hi]`` if it is a prefix range, else ``None``."""
+    if not range_is_prefix(lo, hi, bits):
+        return None
+    span = hi - lo + 1
+    return bits - span.bit_length() + 1
+
+
+def range_to_prefixes(lo: int, hi: int, bits: int = 32) -> list[tuple[int, int]]:
+    """Decompose an arbitrary range into a minimal list of prefixes.
+
+    Returns a list of ``(value, prefix_len)`` pairs whose union equals
+    ``[lo, hi]``.  This is the standard greedy decomposition used when loading
+    range rules into prefix-only structures (e.g. tuple-space hash tables).
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    prefixes: list[tuple[int, int]] = []
+    cursor = lo
+    while cursor <= hi:
+        # Largest power-of-two block starting at `cursor` that is aligned and
+        # does not overshoot `hi`.
+        max_align = cursor & -cursor if cursor else (1 << bits)
+        max_span = hi - cursor + 1
+        block = min(max_align, 1 << (max_span.bit_length() - 1))
+        prefix_len = bits - (block.bit_length() - 1)
+        prefixes.append((cursor, prefix_len))
+        cursor += block
+    return prefixes
+
+
+def merge_ranges(ranges: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent inclusive ranges into a sorted disjoint list."""
+    ordered = sorted(ranges)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in ordered:
+        if merged and lo <= merged[-1][1] + 1:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,115 @@
+"""Stanford-backbone-like forwarding rule-set generator.
+
+The paper's real-world evaluation (Figure 10, Table 2 last row) uses the
+Stanford backbone dataset: four IP forwarding tables of roughly 180K rules,
+each matching only on the destination IP address.  The dataset itself is not
+redistributable here, so this module generates forwarding tables with the
+structural properties that drive the paper's results:
+
+* a realistic prefix-length distribution for a campus/backbone forwarding
+  table (dominated by /24 with substantial /16–/23 and a tail of /25–/32);
+* prefix nesting (more-specific routes inside aggregates), which is what
+  limits single-iSet coverage to ~58% and requires 2–3 iSets for >90% (Table 2);
+* a single-field schema, exercising the degenerate-dimension code path of the
+  iSet partitioner.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rules.fields import FORWARDING, prefix_to_range
+from repro.rules.rule import Rule, RuleSet
+
+__all__ = ["generate_stanford_backbone", "STANFORD_PREFIX_WEIGHTS"]
+
+#: Approximate prefix-length mix of a backbone forwarding table.
+STANFORD_PREFIX_WEIGHTS: dict[int, float] = {
+    8: 0.002,
+    12: 0.005,
+    14: 0.008,
+    16: 0.06,
+    18: 0.04,
+    20: 0.09,
+    21: 0.07,
+    22: 0.11,
+    23: 0.10,
+    24: 0.42,
+    25: 0.02,
+    26: 0.02,
+    27: 0.015,
+    28: 0.015,
+    30: 0.01,
+    32: 0.025,
+}
+
+
+def generate_stanford_backbone(
+    num_rules: int = 180_000,
+    seed: int = 0,
+    nesting: float = 0.35,
+) -> RuleSet:
+    """Generate one Stanford-backbone-like forwarding rule-set.
+
+    Args:
+        num_rules: Number of forwarding entries (the real tables hold ~180K).
+        seed: RNG seed; also selects which of the "four routers" is emulated.
+        nesting: Fraction of rules generated as more-specifics of an already
+            emitted aggregate, producing the nested-prefix overlap structure
+            that limits single-iSet coverage.
+
+    Returns:
+        A single-field (destination IP) :class:`RuleSet`.  Longer prefixes get
+        higher priority (lower numeric value), mirroring longest-prefix-match.
+    """
+    if num_rules <= 0:
+        raise ValueError("num_rules must be positive")
+    rng = random.Random(0x57A4F02D ^ seed)
+
+    lengths = list(STANFORD_PREFIX_WEIGHTS)
+    weights = [STANFORD_PREFIX_WEIGHTS[length] for length in lengths]
+
+    seen: set[tuple[int, int]] = set()
+    entries: list[tuple[int, int]] = []  # (address, prefix_len)
+    aggregates: list[tuple[int, int]] = []  # emitted prefixes shorter than /24
+
+    attempts = 0
+    max_attempts = num_rules * 60
+    while len(entries) < num_rules and attempts < max_attempts:
+        attempts += 1
+        if aggregates and rng.random() < nesting:
+            # More-specific of an existing aggregate.
+            base_addr, base_len = aggregates[rng.randrange(len(aggregates))]
+            prefix_len = min(32, base_len + rng.choice([1, 2, 3, 4, 6, 8]))
+            host_bits = 32 - prefix_len
+            addr = base_addr | (rng.randrange(0, 1 << (prefix_len - base_len)) << host_bits)
+        else:
+            prefix_len = rng.choices(lengths, weights)[0]
+            addr = rng.randrange(0, 1 << 32)
+            addr &= ~((1 << (32 - prefix_len)) - 1) if prefix_len < 32 else 0xFFFFFFFF
+        key = (addr, prefix_len)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(key)
+        if prefix_len <= 23 and len(aggregates) < 4096:
+            aggregates.append(key)
+
+    if len(entries) < num_rules:
+        raise RuntimeError(
+            f"could not generate {num_rules} unique forwarding entries "
+            f"(got {len(entries)})"
+        )
+
+    # Longest prefix first => highest priority (lowest numeric value).
+    entries.sort(key=lambda item: -item[1])
+    rules = [
+        Rule(
+            (prefix_to_range(addr, prefix_len),),
+            priority=index,
+            action=f"port{index % 64}",
+            rule_id=index,
+        )
+        for index, (addr, prefix_len) in enumerate(entries)
+    ]
+    return RuleSet(rules, FORWARDING, name=f"stanford-{seed}-{num_rules}")

@@ -1,0 +1,113 @@
+"""Cache-hierarchy model.
+
+The paper's performance story is about *where the classifier's index lives in
+the memory hierarchy*: structures that fit in the per-core L1/L2 caches answer
+lookups in a few nanoseconds, structures that spill to the shared L3 or DRAM
+stall the CPU (§2.2, §5.2.1).  This module models the hierarchy of the
+evaluation machine (Intel Xeon Silver 4116: 32 KB L1, 1 MB L2, 16 MB L3) and
+converts a structure footprint plus an access-locality estimate into an
+average access latency.  It also supports restricting the available L3 (the
+paper's Cache Allocation Technology experiments, CAIDA* and §5.2.1) and an L3
+contention factor for multi-tenant scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy."""
+
+    name: str
+    size_bytes: int
+    latency_cycles: float
+
+
+@dataclass
+class CacheHierarchy:
+    """A cache hierarchy with a DRAM backstop.
+
+    Attributes:
+        levels: Cache levels ordered from fastest/smallest to slowest/largest.
+        dram_latency_cycles: Latency of a DRAM access.
+        frequency_ghz: Core frequency used to convert cycles to nanoseconds.
+        l3_contention: Multiplier (>1) applied to L3 latency to model cache
+            contention from co-running workloads (§5.2.1).
+    """
+
+    levels: list[CacheLevel] = field(default_factory=list)
+    dram_latency_cycles: float = 220.0
+    frequency_ghz: float = 2.1
+    l3_contention: float = 1.0
+
+    @classmethod
+    def xeon_silver_4116(cls, l3_limit_bytes: int | None = None) -> "CacheHierarchy":
+        """The evaluation machine of §5.1 (optionally with a restricted L3)."""
+        l3_size = 16 * 1024 * 1024 if l3_limit_bytes is None else l3_limit_bytes
+        return cls(
+            levels=[
+                CacheLevel("L1", 32 * 1024, 4.0),
+                CacheLevel("L2", 1024 * 1024, 14.0),
+                CacheLevel("L3", l3_size, 68.0),
+            ],
+            dram_latency_cycles=220.0,
+            frequency_ghz=2.1,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.frequency_ghz
+
+    def placement_level(self, footprint_bytes: int) -> str:
+        """Name of the smallest level that can hold ``footprint_bytes``."""
+        for level in self.levels:
+            if footprint_bytes <= level.size_bytes:
+                return level.name
+        return "DRAM"
+
+    def _level_latency_cycles(self, name: str) -> float:
+        for level in self.levels:
+            if level.name == name:
+                cycles = level.latency_cycles
+                if name == "L3":
+                    cycles *= self.l3_contention
+                return cycles
+        return self.dram_latency_cycles
+
+    def placement_latency_ns(self, footprint_bytes: int) -> float:
+        """Latency of a dependent access into a structure of the given size."""
+        return self.cycles_to_ns(
+            self._level_latency_cycles(self.placement_level(footprint_bytes))
+        )
+
+    def access_latency_ns(self, footprint_bytes: int, locality: float = 0.0) -> float:
+        """Average access latency accounting for temporal locality.
+
+        ``locality`` is the fraction of accesses that hit a small, hot working
+        set assumed to stay in L1 regardless of the structure's total size —
+        the mechanism by which skewed traffic narrows the gap between small
+        and large classifiers (Figure 12).
+        """
+        locality = min(max(locality, 0.0), 1.0)
+        cold = self.placement_latency_ns(footprint_bytes)
+        hot = self.cycles_to_ns(self.levels[0].latency_cycles) if self.levels else cold
+        return locality * hot + (1.0 - locality) * cold
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "levels": [
+                {
+                    "name": level.name,
+                    "size_bytes": level.size_bytes,
+                    "latency_ns": self.cycles_to_ns(self._level_latency_cycles(level.name)),
+                }
+                for level in self.levels
+            ],
+            "dram_latency_ns": self.cycles_to_ns(self.dram_latency_cycles),
+            "l3_contention": self.l3_contention,
+        }

@@ -1,0 +1,205 @@
+"""Performance evaluation harness: classifiers × traces → latency / throughput.
+
+This is the module the benchmark files use to reproduce the paper's
+performance figures.  It runs a classifier over a trace, converts every
+lookup's :class:`~repro.classifiers.base.LookupTrace` into nanoseconds via the
+:class:`~repro.simulation.cost_model.CostModel`, and aggregates into the same
+quantities the paper reports: average per-packet latency and throughput in
+packets per second, for single-core and two-core execution models:
+
+* **Baselines, two cores** (§5.1): two independent instances split the input
+  evenly — throughput doubles, per-packet latency is unchanged.
+* **NuevoMatch, two cores**: the RQ-RMIs run on one core and the remainder
+  classifier on the other; per-packet latency is the maximum of the two paths
+  plus a small synchronisation overhead (amortised over 128-packet batches).
+* **NuevoMatch, single core**: iSets and remainder run sequentially with the
+  early-termination optimisation (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.classifiers.base import Classifier, LookupTrace
+from repro.core.nuevomatch import LookupBreakdown, NuevoMatch
+from repro.simulation.cost_model import CostModel, LatencyBreakdown
+from repro.traffic.packet import Trace
+
+__all__ = ["PerfReport", "evaluate_classifier", "evaluate_nuevomatch", "speedup"]
+
+#: Per-packet synchronisation overhead of the two-core NuevoMatch pipeline,
+#: amortised over the paper's 128-packet batches.
+SYNC_OVERHEAD_NS = 5.0
+
+
+@dataclass
+class PerfReport:
+    """Latency/throughput estimate for one classifier on one trace."""
+
+    classifier: str
+    trace: str
+    cores: int
+    packets: int
+    avg_latency_ns: float
+    throughput_pps: float
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "classifier": self.classifier,
+            "trace": self.trace,
+            "cores": self.cores,
+            "latency_ns": round(self.avg_latency_ns, 1),
+            "throughput_Mpps": round(self.throughput_pps / 1e6, 3),
+        }
+
+
+def _average_breakdown(parts: list[LatencyBreakdown]) -> LatencyBreakdown:
+    if not parts:
+        return LatencyBreakdown()
+    total = LatencyBreakdown()
+    for part in parts:
+        total = total.merge(part)
+    return total.scaled(1.0 / len(parts))
+
+
+def evaluate_classifier(
+    classifier: Classifier,
+    trace: Trace | Iterable,
+    cost_model: CostModel | None = None,
+    cores: int = 1,
+    max_packets: int | None = None,
+) -> PerfReport:
+    """Evaluate a (baseline) classifier on a trace.
+
+    With ``cores > 1`` the standard replication model applies: throughput
+    scales linearly, per-packet latency does not change (§5.1,
+    "Multi-core implementation").
+    """
+    cost_model = cost_model or CostModel()
+    packets = list(trace)[: max_packets or None]
+    latencies: list[LatencyBreakdown] = []
+    for packet in packets:
+        result = classifier.classify_traced(packet)
+        latencies.append(cost_model.classifier_lookup_latency(classifier, result.trace))
+    breakdown = _average_breakdown(latencies)
+    avg_latency = breakdown.total_ns if latencies else 0.0
+    throughput = cores / (avg_latency * 1e-9) if avg_latency > 0 else 0.0
+    return PerfReport(
+        classifier=classifier.name,
+        trace=getattr(trace, "name", "trace"),
+        cores=cores,
+        packets=len(packets),
+        avg_latency_ns=avg_latency,
+        throughput_pps=throughput,
+        breakdown=breakdown,
+    )
+
+
+def evaluate_nuevomatch(
+    nm: NuevoMatch,
+    trace: Trace | Iterable,
+    cost_model: CostModel | None = None,
+    mode: str = "parallel",
+    max_packets: int | None = None,
+) -> PerfReport:
+    """Evaluate NuevoMatch in the paper's two execution modes.
+
+    Args:
+        nm: A built NuevoMatch classifier.
+        trace: Input packets.
+        cost_model: Latency model (defaults to the Xeon Silver hierarchy).
+        mode: ``"parallel"`` — iSets and remainder on separate cores (2-core,
+            Figure 8); ``"single"`` — both on one core with early termination
+            (Figure 9).
+        max_packets: Optionally cap the number of evaluated packets.
+    """
+    if mode not in ("parallel", "single"):
+        raise ValueError("mode must be 'parallel' or 'single'")
+    cost_model = cost_model or CostModel()
+    packets = list(trace)[: max_packets or None]
+
+    rqrmi_bytes = nm.rqrmi_size_bytes()
+    value_array_bytes = nm.value_array_bytes()
+    remainder_fp = nm.remainder.memory_footprint()
+    rule_bytes = nm.memory_footprint().rule_bytes
+
+    latencies: list[LatencyBreakdown] = []
+    breakdown_totals = LookupBreakdown()
+
+    for packet in packets:
+        if mode == "parallel":
+            _best, iset_trace = nm.classify_isets_only(packet)
+            remainder_result = nm.remainder.classify_traced(packet)
+            iset_latency = cost_model.lookup_latency(
+                iset_trace, value_array_bytes, rule_bytes, model_bytes=rqrmi_bytes
+            )
+            remainder_latency = cost_model.lookup_latency(
+                remainder_result.trace,
+                remainder_fp.index_bytes,
+                remainder_fp.rule_bytes,
+            )
+            if iset_latency.total_ns >= remainder_latency.total_ns:
+                packet_latency = iset_latency
+            else:
+                packet_latency = remainder_latency
+            packet_latency = packet_latency.merge(
+                LatencyBreakdown(hash_ns=SYNC_OVERHEAD_NS)
+            )
+            latencies.append(packet_latency)
+        else:
+            result, lookup_breakdown = nm.classify_detailed(packet)
+            breakdown_totals = breakdown_totals.merge(lookup_breakdown)
+            latencies.append(
+                cost_model.lookup_latency(
+                    result.trace,
+                    remainder_fp.index_bytes,
+                    rule_bytes,
+                    model_bytes=rqrmi_bytes,
+                )
+            )
+
+    breakdown = _average_breakdown(latencies)
+    avg_latency = breakdown.total_ns if latencies else 0.0
+    throughput = 1.0 / (avg_latency * 1e-9) if avg_latency > 0 else 0.0
+    extra = {
+        "coverage": nm.coverage,
+        "num_isets": nm.num_isets,
+        "rqrmi_bytes": rqrmi_bytes,
+        "remainder_index_bytes": remainder_fp.index_bytes,
+        "mode": mode,
+    }
+    if mode == "single" and packets:
+        extra["avg_breakdown"] = {
+            "inference_ops": breakdown_totals.inference_ops / len(packets),
+            "search_accesses": breakdown_totals.search_accesses / len(packets),
+            "validation_accesses": breakdown_totals.validation_accesses / len(packets),
+            "remainder_accesses": breakdown_totals.remainder_accesses / len(packets),
+        }
+    return PerfReport(
+        classifier=f"nm({nm.remainder.name})",
+        trace=getattr(trace, "name", "trace"),
+        cores=2 if mode == "parallel" else 1,
+        packets=len(packets),
+        avg_latency_ns=avg_latency,
+        throughput_pps=throughput,
+        breakdown=breakdown,
+        extra=extra,
+    )
+
+
+def speedup(nm_report: PerfReport, baseline_report: PerfReport) -> dict[str, float]:
+    """Latency and throughput speedups of NuevoMatch over a baseline."""
+    latency_speedup = (
+        baseline_report.avg_latency_ns / nm_report.avg_latency_ns
+        if nm_report.avg_latency_ns > 0
+        else 0.0
+    )
+    throughput_speedup = (
+        nm_report.throughput_pps / baseline_report.throughput_pps
+        if baseline_report.throughput_pps > 0
+        else 0.0
+    )
+    return {"latency": latency_speedup, "throughput": throughput_speedup}

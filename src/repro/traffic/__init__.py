@@ -1,0 +1,19 @@
+"""Packet trace model and generators (uniform, Zipf, CAIDA-like)."""
+
+from repro.traffic.packet import Trace
+from repro.traffic.generators import (
+    ZIPF_ALPHAS,
+    generate_caida_like_trace,
+    generate_uniform_trace,
+    generate_zipf_trace,
+    zipf_alpha_for_top3_share,
+)
+
+__all__ = [
+    "Trace",
+    "ZIPF_ALPHAS",
+    "generate_uniform_trace",
+    "generate_zipf_trace",
+    "generate_caida_like_trace",
+    "zipf_alpha_for_top3_share",
+]

@@ -1,0 +1,154 @@
+"""Trace generators: uniform, Zipf-skewed and CAIDA-like (§5.1.1).
+
+* **Uniform** traces access all rules uniformly — the worst case for cache
+  locality and the trace behind the paper's headline numbers (Figures 8–11).
+* **Zipf** traces draw flows from a Zipf distribution parameterised, as in the
+  paper, by the share of traffic carried by the 3% most frequent flows
+  (80%, 85%, 90%, 95% → α ≈ 1.05, 1.10, 1.15, 1.25; Figure 12).
+* **CAIDA-like** traces emulate the paper's CAIDA methodology: a flow-level
+  trace with heavy-tailed flow sizes and packet-level temporal locality whose
+  five-tuples are consistently rewritten to match the evaluated rule-set.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.rules.rule import Packet, Rule, RuleSet
+from repro.traffic.packet import Trace
+
+__all__ = [
+    "generate_uniform_trace",
+    "generate_zipf_trace",
+    "generate_caida_like_trace",
+    "ZIPF_ALPHAS",
+    "zipf_alpha_for_top3_share",
+]
+
+#: The paper's four skew settings: share of traffic in the top-3% flows → α.
+ZIPF_ALPHAS: dict[int, float] = {80: 1.05, 85: 1.10, 90: 1.15, 95: 1.25}
+
+
+def zipf_alpha_for_top3_share(share_percent: int) -> float:
+    """The Zipf α the paper associates with a top-3%-flow traffic share."""
+    try:
+        return ZIPF_ALPHAS[share_percent]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown skew {share_percent}; expected one of {sorted(ZIPF_ALPHAS)}"
+        ) from exc
+
+
+def _packet_for_rule(rule: Rule, rng: random.Random) -> Packet:
+    return rule.sample_packet(rng)
+
+
+def generate_uniform_trace(
+    ruleset: RuleSet, num_packets: int, seed: int = 0, name: str | None = None
+) -> Trace:
+    """A trace whose packets match rules drawn uniformly at random.
+
+    Every packet is a fresh random point inside a uniformly chosen rule, which
+    defeats any caching of recently used rules — the paper's worst-case
+    memory-access pattern.
+    """
+    rng = random.Random(seed)
+    rules = ruleset.rules
+    packets = [
+        _packet_for_rule(rules[rng.randrange(len(rules))], rng)
+        for _ in range(num_packets)
+    ]
+    return Trace(
+        packets,
+        name=name or f"uniform-{ruleset.name}",
+        metadata={"distribution": "uniform", "seed": seed, "ruleset": ruleset.name},
+    )
+
+
+def generate_zipf_trace(
+    ruleset: RuleSet,
+    num_packets: int,
+    top3_share: int = 90,
+    seed: int = 0,
+    name: str | None = None,
+) -> Trace:
+    """A Zipf-skewed trace over per-rule flows (Figure 12).
+
+    One flow (a fixed five-tuple) is created per rule; flows are ranked in a
+    random order and packet arrivals follow a Zipf distribution with the α
+    associated with ``top3_share``.
+    """
+    alpha = zipf_alpha_for_top3_share(top3_share)
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    rules = list(ruleset.rules)
+    rng.shuffle(rules)
+    flows = [_packet_for_rule(rule, rng) for rule in rules]
+
+    ranks = np.arange(1, len(flows) + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    choices = np_rng.choice(len(flows), size=num_packets, p=weights)
+    packets = [flows[i] for i in choices]
+    return Trace(
+        packets,
+        name=name or f"zipf-{top3_share}",
+        metadata={
+            "distribution": "zipf",
+            "alpha": alpha,
+            "top3_share": top3_share,
+            "seed": seed,
+            "ruleset": ruleset.name,
+        },
+    )
+
+
+def generate_caida_like_trace(
+    ruleset: RuleSet,
+    num_packets: int,
+    num_flows: int | None = None,
+    seed: int = 0,
+    burstiness: float = 0.7,
+    name: str | None = None,
+) -> Trace:
+    """A CAIDA-like trace mapped onto the rule-set (§5.1.1).
+
+    The paper rewrites the five-tuples of a real CAIDA trace so each original
+    flow maps consistently to a flow matching one of the evaluated rules.  We
+    generate the flow-level structure directly: heavy-tailed (Pareto) flow
+    sizes, a consistent flow→rule mapping, and bursty arrivals (a packet
+    continues its previous flow with probability ``burstiness``), which gives
+    the trace the temporal locality that makes skewed workloads cache-friendly.
+    """
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    rules = list(ruleset.rules)
+    if num_flows is None:
+        num_flows = max(64, min(len(rules), num_packets // 16))
+
+    flow_rules = [rules[rng.randrange(len(rules))] for _ in range(num_flows)]
+    flow_tuples = [_packet_for_rule(rule, rng) for rule in flow_rules]
+    # Heavy-tailed flow popularity (Pareto shape ~1.2, as observed for flow sizes).
+    popularity = np_rng.pareto(1.2, size=num_flows) + 1.0
+    popularity /= popularity.sum()
+
+    packets: list[Packet] = []
+    current = int(np_rng.choice(num_flows, p=popularity))
+    for _ in range(num_packets):
+        if rng.random() > burstiness:
+            current = int(np_rng.choice(num_flows, p=popularity))
+        packets.append(flow_tuples[current])
+    return Trace(
+        packets,
+        name=name or "caida-like",
+        metadata={
+            "distribution": "caida-like",
+            "num_flows": num_flows,
+            "burstiness": burstiness,
+            "seed": seed,
+            "ruleset": ruleset.name,
+        },
+    )

@@ -1,0 +1,62 @@
+"""Packet traces.
+
+A :class:`Trace` is an ordered list of packets plus metadata about how it was
+generated (distribution, skew, seed).  Traces are generated to *match a
+rule-set*: every packet matches at least one rule, exactly as the paper builds
+its evaluation traces (uniform over rules, Zipf-skewed, or CAIDA-derived with
+headers rewritten to match the rule-set, §5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.rules.rule import Packet
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """An ordered packet trace.
+
+    Attributes:
+        packets: The packets, in arrival order.
+        name: Human-readable trace name (e.g. ``"zipf-90"``).
+        metadata: Generation parameters (distribution, skew, seed, …).
+    """
+
+    packets: list[Packet]
+    name: str = "trace"
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self.packets[index]
+
+    def unique_fraction(self) -> float:
+        """Fraction of distinct packets — a cheap locality indicator."""
+        if not self.packets:
+            return 0.0
+        return len({p.values for p in self.packets}) / len(self.packets)
+
+    def top_flow_share(self, fraction: float = 0.03) -> float:
+        """Share of traffic carried by the most frequent ``fraction`` of flows.
+
+        The paper characterises its Zipf traces by the share of traffic in the
+        3% most frequent flows (80%–95%).
+        """
+        if not self.packets:
+            return 0.0
+        counts: dict[tuple[int, ...], int] = {}
+        for packet in self.packets:
+            counts[packet.values] = counts.get(packet.values, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top = max(1, int(len(ordered) * fraction))
+        return sum(ordered[:top]) / len(self.packets)

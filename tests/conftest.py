@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Rule-sets and trained models are expensive to build, so the commonly used ones
+are session-scoped.  Sizes are kept small (hundreds to a few thousand rules):
+the goal of the tests is functional correctness; the benchmarks exercise the
+larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NuevoMatchConfig, RQRMIConfig
+from repro.core.nuevomatch import NuevoMatch
+from repro.rules import generate_classbench, generate_stanford_backbone
+
+
+#: Fast RQ-RMI settings used across tests (fewer Adam epochs, small widths).
+FAST_RQRMI = RQRMIConfig(adam_epochs=80, initial_samples=256)
+
+
+def fast_nm_config(max_isets: int = 4, min_coverage: float = 0.05) -> NuevoMatchConfig:
+    return NuevoMatchConfig(
+        max_isets=max_isets,
+        min_iset_coverage=min_coverage,
+        rqrmi=RQRMIConfig(adam_epochs=80, initial_samples=256),
+    )
+
+
+@pytest.fixture(scope="session")
+def acl_small():
+    """A small ACL-like rule-set (500 rules)."""
+    return generate_classbench("acl1", 500, seed=11)
+
+
+@pytest.fixture(scope="session")
+def acl_medium():
+    """A medium ACL-like rule-set (3000 rules)."""
+    return generate_classbench("acl2", 3000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fw_small():
+    """A small firewall-like rule-set (500 rules, wildcard-heavy)."""
+    return generate_classbench("fw1", 500, seed=5)
+
+
+@pytest.fixture(scope="session")
+def ipc_small():
+    """A small IPC-like rule-set (500 rules)."""
+    return generate_classbench("ipc1", 500, seed=3)
+
+
+@pytest.fixture(scope="session")
+def forwarding_small():
+    """A small Stanford-backbone-like forwarding table (2000 rules)."""
+    return generate_stanford_backbone(2000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def nm_acl_medium(acl_medium):
+    """NuevoMatch built over the medium ACL rule-set with a TupleMerge remainder."""
+    return NuevoMatch.build(
+        acl_medium, remainder_classifier="tm", config=fast_nm_config()
+    )

@@ -1,0 +1,90 @@
+"""Tests for the analysis helpers: footprints, coverage reports, reporting."""
+
+import pytest
+
+from repro.analysis import (
+    classifier_footprint,
+    compare_footprints,
+    coverage_report,
+    coverage_table_rows,
+    format_kv,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+from repro.classifiers import TupleMergeClassifier
+from conftest import fast_nm_config
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, 4]) == pytest.approx(4.0)  # zeros ignored
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 123456.0]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series([1, 2, 3], [0.5, 1.0, 1.5], "x", "y")
+        assert text.count("\n") == 4
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1, "beta": 2.5}, title="cfg")
+        assert "alpha" in text and "beta" in text and text.startswith("cfg")
+
+
+class TestFootprintAnalysis:
+    def test_classifier_footprint_report(self, acl_small):
+        tm = TupleMergeClassifier.build(acl_small)
+        report = classifier_footprint(tm, acl_small.name)
+        assert report.classifier == "tm"
+        assert report.index_bytes == tm.memory_footprint().index_bytes
+        assert report.cache_level in {"L1", "L2", "L3", "DRAM"}
+        assert len(report.as_row()) == 6
+
+    def test_compare_footprints_includes_nm(self, acl_small):
+        reports = compare_footprints(
+            acl_small, baselines=["tm"], with_nuevomatch=True, nm_config=fast_nm_config()
+        )
+        names = [r.classifier for r in reports]
+        assert names == ["tm", "nm(tm)"]
+        baseline, nm = reports
+        assert nm.rqrmi_bytes > 0
+        assert nm.index_bytes <= baseline.index_bytes
+
+    def test_compare_footprints_without_nm(self, acl_small):
+        reports = compare_footprints(acl_small, baselines=["tm", "cs"], with_nuevomatch=False)
+        assert [r.classifier for r in reports] == ["tm", "cs"]
+
+
+class TestCoverageAnalysis:
+    def test_coverage_report_monotone(self, acl_medium):
+        report = coverage_report(acl_medium, max_isets=4)
+        coverage = report.cumulative_coverage
+        assert all(a <= b + 1e-12 for a, b in zip(coverage[:-1], coverage[1:]))
+        assert report.coverage_at(1) <= report.coverage_at(4)
+        assert report.coverage_at(0) == 0.0
+
+    def test_coverage_at_beyond_available_isets(self, acl_small):
+        report = coverage_report(acl_small, max_isets=2)
+        assert report.coverage_at(10) == report.cumulative_coverage[-1]
+
+    def test_table_rows_shape(self, acl_small, fw_small):
+        reports = [coverage_report(acl_small, 4), coverage_report(fw_small, 4)]
+        rows = coverage_table_rows(reports, max_isets=4)
+        assert len(rows) == 2
+        assert len(rows[0]) == 2 + 4
+        assert all(0 <= value <= 100 for value in rows[0][2:])
+
+    def test_centrality_estimation_optional(self, acl_small):
+        without = coverage_report(acl_small, estimate_centrality=False)
+        with_est = coverage_report(acl_small, estimate_centrality=True)
+        assert without.centrality == 0
+        assert with_est.centrality >= 1

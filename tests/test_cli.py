@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rules import generate_classbench, parse_classbench_file, write_classbench_file
+
+
+@pytest.fixture()
+def ruleset_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    write_classbench_file(generate_classbench("acl1", 300, seed=1), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.txt"])
+        assert args.application == "acl1"
+        assert args.rules == 10_000
+
+    def test_rejects_unknown_classifier(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "x.txt", "--classifier", "bogus"])
+
+
+class TestGenerate:
+    def test_generates_classbench_file(self, tmp_path, capsys):
+        out = tmp_path / "acl.txt"
+        code = main(["generate", str(out), "--application", "acl2", "--rules", "150"])
+        assert code == 0
+        parsed = parse_classbench_file(out)
+        assert len(parsed) == 150
+
+    def test_generates_stanford_file(self, tmp_path):
+        out = tmp_path / "fwd.txt"
+        code = main(["generate", str(out), "--application", "stanford", "--rules", "200"])
+        assert code == 0
+        parsed = parse_classbench_file(out)
+        assert len(parsed) == 200
+        # Forwarding rules are widened to the 5-tuple with wildcards everywhere
+        # except the destination address.
+        assert all(rule.ranges[0] == (0, 0xFFFFFFFF) for rule in parsed)
+
+
+class TestInspect:
+    def test_prints_coverage_table(self, ruleset_file, capsys):
+        assert main(["inspect", str(ruleset_file), "--isets", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage %" in out
+        assert "rules" in out
+
+
+class TestBuild:
+    def test_build_baseline(self, ruleset_file, capsys):
+        assert main(["build", str(ruleset_file), "--classifier", "tm"]) == 0
+        out = capsys.readouterr().out
+        assert "tm over" in out
+        assert "index_bytes" in out
+
+    def test_build_nuevomatch(self, ruleset_file, capsys):
+        assert main(["build", str(ruleset_file), "--classifier", "nm",
+                     "--remainder", "tm", "--error-threshold", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "num_isets" in out
+        assert "coverage" in out
+
+
+class TestCompare:
+    def test_compare_reports_speedup(self, ruleset_file, capsys):
+        assert main(["compare", str(ruleset_file), "--baseline", "tm",
+                     "--packets", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "nm(tm)" in out

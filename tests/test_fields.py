@@ -1,0 +1,149 @@
+"""Unit tests for field schemas and prefix/range conversions."""
+
+import pytest
+
+from repro.rules.fields import (
+    FIVE_TUPLE,
+    FORWARDING,
+    FieldSchema,
+    FieldSpec,
+    int_to_ip,
+    ip_to_int,
+    merge_ranges,
+    prefix_length_of_range,
+    prefix_to_range,
+    range_is_prefix,
+    range_to_prefixes,
+)
+
+
+class TestFieldSpec:
+    def test_max_value(self):
+        assert FieldSpec("x", 8).max_value == 255
+        assert FieldSpec("x", 16).max_value == 65535
+        assert FieldSpec("x", 32).max_value == 0xFFFFFFFF
+
+    def test_domain_size(self):
+        assert FieldSpec("x", 8).domain_size == 256
+
+    def test_full_range(self):
+        assert FieldSpec("x", 16).full_range() == (0, 65535)
+
+
+class TestFieldSchema:
+    def test_five_tuple_shape(self):
+        assert len(FIVE_TUPLE) == 5
+        assert FIVE_TUPLE.names == ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+
+    def test_forwarding_single_field(self):
+        assert len(FORWARDING) == 1
+        assert FORWARDING[0].bits == 32
+
+    def test_lookup_by_name_and_index(self):
+        assert FIVE_TUPLE["dst_ip"].bits == 32
+        assert FIVE_TUPLE[4].name == "protocol"
+        assert FIVE_TUPLE.index_of("src_port") == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema([FieldSpec("a", 8), FieldSpec("a", 16)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema([])
+
+    def test_validate_ranges_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            FIVE_TUPLE.validate_ranges([(0, 1)])
+        with pytest.raises(ValueError):
+            FORWARDING.validate_ranges([(5, 4)])
+        with pytest.raises(ValueError):
+            FORWARDING.validate_ranges([(0, 1 << 33)])
+
+    def test_validate_values(self):
+        FORWARDING.validate_values([123])
+        with pytest.raises(ValueError):
+            FORWARDING.validate_values([1 << 40])
+
+    def test_equality_and_hash(self):
+        other = FieldSchema(list(FIVE_TUPLE.specs))
+        assert other == FIVE_TUPLE
+        assert hash(other) == hash(FIVE_TUPLE)
+
+
+class TestIPConversion:
+    def test_roundtrip(self):
+        for text in ["0.0.0.0", "10.0.1.255", "255.255.255.255", "192.168.1.1"]:
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.300")
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 40)
+
+
+class TestPrefixConversion:
+    def test_prefix_to_range_full(self):
+        assert prefix_to_range(0, 0) == (0, 0xFFFFFFFF)
+
+    def test_prefix_to_range_host(self):
+        assert prefix_to_range(12345, 32) == (12345, 12345)
+
+    def test_prefix_to_range_masks_host_bits(self):
+        lo, hi = prefix_to_range(ip_to_int("10.1.2.3"), 24)
+        assert lo == ip_to_int("10.1.2.0")
+        assert hi == ip_to_int("10.1.2.255")
+
+    def test_prefix_to_range_invalid_length(self):
+        with pytest.raises(ValueError):
+            prefix_to_range(0, 33)
+
+    def test_range_is_prefix(self):
+        assert range_is_prefix(0, 255)
+        assert range_is_prefix(256, 511)
+        assert not range_is_prefix(1, 256)
+        assert not range_is_prefix(0, 254)
+
+    def test_prefix_length_of_range(self):
+        assert prefix_length_of_range(0, 0xFFFFFFFF) == 0
+        assert prefix_length_of_range(0, 255) == 24
+        assert prefix_length_of_range(7, 7) == 32
+        assert prefix_length_of_range(1, 256) is None
+
+    def test_range_to_prefixes_covers_range(self):
+        for lo, hi in [(0, 10), (1, 14), (5, 255), (1000, 70000), (0, 0)]:
+            prefixes = range_to_prefixes(lo, hi, bits=32)
+            covered = []
+            for value, length in prefixes:
+                plo, phi = prefix_to_range(value, length, 32)
+                covered.append((plo, phi))
+            covered.sort()
+            # Contiguous, non-overlapping and covering exactly [lo, hi].
+            assert covered[0][0] == lo
+            assert covered[-1][1] == hi
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(covered[:-1], covered[1:]):
+                assert b_lo == a_hi + 1
+
+    def test_range_to_prefixes_empty_range(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(5, 4)
+
+
+class TestMergeRanges:
+    def test_merges_overlapping(self):
+        assert merge_ranges([(0, 5), (3, 10), (12, 15)]) == [(0, 10), (12, 15)]
+
+    def test_merges_adjacent(self):
+        assert merge_ranges([(0, 5), (6, 10)]) == [(0, 10)]
+
+    def test_keeps_disjoint(self):
+        assert merge_ranges([(10, 20), (0, 5)]) == [(0, 5), (10, 20)]
+
+    def test_empty(self):
+        assert merge_ranges([]) == []

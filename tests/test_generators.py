@@ -1,0 +1,146 @@
+"""Tests for the ClassBench-like and Stanford-backbone-like rule generators."""
+
+import pytest
+
+from repro.rules import (
+    CLASSBENCH_APPLICATIONS,
+    FIVE_TUPLE,
+    blend_rulesets,
+    generate_classbench,
+    generate_low_diversity,
+    generate_stanford_backbone,
+)
+
+
+class TestClassBenchGenerator:
+    def test_twelve_applications(self):
+        assert len(CLASSBENCH_APPLICATIONS) == 12
+        families = {name[:-1] for name in CLASSBENCH_APPLICATIONS}
+        assert families == {"acl", "fw", "ipc"}
+
+    def test_requested_size_and_unique_rules(self):
+        rs = generate_classbench("acl1", 800, seed=3)
+        assert len(rs) == 800
+        assert len({r.ranges for r in rs}) == 800
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_classbench("fw2", 200, seed=9)
+        b = generate_classbench("fw2", 200, seed=9)
+        assert [r.ranges for r in a] == [r.ranges for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_classbench("fw2", 200, seed=1)
+        b = generate_classbench("fw2", 200, seed=2)
+        assert [r.ranges for r in a] != [r.ranges for r in b]
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            generate_classbench("nope", 100)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_classbench("acl1", 0)
+
+    def test_priorities_follow_position(self):
+        rs = generate_classbench("ipc1", 100, seed=1)
+        assert [r.priority for r in rs] == list(range(100))
+
+    def test_acl_has_higher_address_diversity_than_fw(self):
+        acl = generate_classbench("acl1", 1000, seed=4)
+        fw = generate_classbench("fw1", 1000, seed=4)
+        acl_div = max(acl.field_diversity(0), acl.field_diversity(1))
+        fw_div = max(fw.field_diversity(0), fw.field_diversity(1))
+        assert acl_div > fw_div
+
+    def test_fw_has_more_wildcards(self):
+        acl = generate_classbench("acl3", 1000, seed=4)
+        fw = generate_classbench("fw3", 1000, seed=4)
+        assert fw.wildcard_fraction(0) > acl.wildcard_fraction(0)
+
+    def test_ip_fields_are_prefix_ranges(self):
+        from repro.rules.fields import range_is_prefix
+
+        rs = generate_classbench("acl4", 300, seed=2)
+        for rule in rs:
+            assert range_is_prefix(*rule.ranges[0])
+            assert range_is_prefix(*rule.ranges[1])
+
+    def test_schema_is_five_tuple(self):
+        rs = generate_classbench("acl1", 50, seed=0)
+        assert rs.schema == FIVE_TUPLE
+
+
+class TestLowDiversityGenerator:
+    def test_diversity_is_low(self):
+        rs = generate_low_diversity(500, values_per_field=8, seed=1)
+        assert max(rs.diversity().values()) <= 8 / 500 + 1e-9
+
+    def test_rules_are_exact_matches(self):
+        rs = generate_low_diversity(100, values_per_field=8, seed=1)
+        for rule in rs:
+            for lo, hi in rule.ranges:
+                assert lo == hi
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(RuntimeError):
+            generate_low_diversity(10_000, values_per_field=2, seed=1)
+
+
+class TestBlendRulesets:
+    def test_blend_preserves_size(self):
+        base = generate_classbench("acl1", 400, seed=1)
+        low = generate_low_diversity(400, values_per_field=6, seed=2)
+        blended = blend_rulesets(base, low, fraction=0.5, seed=3)
+        assert len(blended) == len(base)
+
+    def test_blend_fraction_bounds(self):
+        base = generate_classbench("acl1", 100, seed=1)
+        low = generate_low_diversity(100, values_per_field=6, seed=2)
+        with pytest.raises(ValueError):
+            blend_rulesets(base, low, fraction=1.5)
+
+    def test_blend_zero_keeps_base(self):
+        base = generate_classbench("acl1", 100, seed=1)
+        low = generate_low_diversity(100, values_per_field=6, seed=2)
+        blended = blend_rulesets(base, low, fraction=0.0)
+        assert [r.ranges for r in blended] == [r.ranges for r in base]
+
+    def test_blend_reduces_diversity(self):
+        base = generate_classbench("acl1", 600, seed=1)
+        low = generate_low_diversity(600, values_per_field=6, seed=2)
+        blended = blend_rulesets(base, low, fraction=0.7, seed=3)
+        assert max(blended.diversity().values()) < max(base.diversity().values())
+
+
+class TestStanfordGenerator:
+    def test_size_and_single_field(self):
+        rs = generate_stanford_backbone(3000, seed=0)
+        assert len(rs) == 3000
+        assert len(rs.schema) == 1
+
+    def test_rules_are_prefixes(self):
+        from repro.rules.fields import range_is_prefix
+
+        rs = generate_stanford_backbone(1000, seed=2)
+        for rule in rs:
+            assert range_is_prefix(*rule.ranges[0])
+
+    def test_longest_prefix_has_best_priority(self):
+        rs = generate_stanford_backbone(2000, seed=1)
+        spans = [rule.field_span(0) for rule in sorted(rs.rules, key=lambda r: r.priority)]
+        # Priorities follow longest-prefix-first order: spans non-decreasing.
+        assert all(a <= b for a, b in zip(spans, spans[1:]))
+
+    def test_deterministic(self):
+        a = generate_stanford_backbone(500, seed=7)
+        b = generate_stanford_backbone(500, seed=7)
+        assert [r.ranges for r in a] == [r.ranges for r in b]
+
+    def test_nesting_creates_overlap(self):
+        rs = generate_stanford_backbone(2000, seed=1, nesting=0.5)
+        # With nesting there must exist at least one pair of overlapping rules.
+        rules = sorted(rs.rules, key=lambda r: r.ranges[0])
+        overlapping = any(
+            a.overlaps_field(b, 0) for a, b in zip(rules[:-1], rules[1:])
+        )
+        assert overlapping

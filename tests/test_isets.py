@@ -1,0 +1,136 @@
+"""Tests for iSet partitioning (§3.6)."""
+
+import pytest
+
+from repro.core.isets import max_independent_set, partition_isets
+from repro.rules.fields import FIVE_TUPLE
+from repro.rules.rule import Rule, RuleSet
+
+
+def rule_with_port_range(lo, hi, rule_id):
+    return Rule(
+        ((0, 0xFFFFFFFF), (0, 0xFFFFFFFF), (0, 65535), (lo, hi), (0, 255)),
+        priority=rule_id,
+        rule_id=rule_id,
+    )
+
+
+class TestMaxIndependentSet:
+    def test_paper_figure6_example(self):
+        # Figure 2 / Figure 6 of the paper: five rules over (IP, port); the
+        # port dimension yields the iSet {R0, R2, R4} and the IP dimension
+        # {R1, R3} once those are removed.
+        def r(ip_lo, ip_hi, p_lo, p_hi, rid):
+            return Rule(((ip_lo, ip_hi), (p_lo, p_hi)), priority=rid, rule_id=rid)
+
+        from repro.rules.fields import FieldSchema, FieldSpec
+
+        schema = FieldSchema([FieldSpec("ip", 32, "ip"), FieldSpec("port", 16, "port")])
+        rules = [
+            r(0x0A0A0000, 0x0A0AFFFF, 10, 18, 0),   # R0
+            r(0x0A0A0100, 0x0A0A01FF, 15, 25, 1),   # R1
+            r(0x0A000000, 0x0AFFFFFF, 5, 8, 2),     # R2
+            r(0x0A0A0300, 0x0A0A03FF, 7, 20, 3),    # R3
+            r(0x0A0A0364, 0x0A0A0364, 19, 19, 4),   # R4
+        ]
+        ruleset = RuleSet(rules, schema)
+        by_port = max_independent_set(list(ruleset.rules), 1)
+        assert {rule.rule_id for rule in by_port} == {0, 2, 4}
+
+    def test_non_overlapping_by_construction(self):
+        rules = [rule_with_port_range(i * 10, i * 10 + 5, i) for i in range(50)]
+        chosen = max_independent_set(rules, 3)
+        assert len(chosen) == 50
+
+    def test_overlapping_rules_reduced(self):
+        rules = [rule_with_port_range(0, 65535, i) for i in range(10)]
+        chosen = max_independent_set(rules, 3)
+        assert len(chosen) == 1
+
+    def test_greedy_is_optimal_on_known_instance(self):
+        # Intervals: [0,10] [2,3] [4,5] [6,7] — optimum picks the three small ones.
+        rules = [
+            rule_with_port_range(0, 10, 0),
+            rule_with_port_range(2, 3, 1),
+            rule_with_port_range(4, 5, 2),
+            rule_with_port_range(6, 7, 3),
+        ]
+        chosen = max_independent_set(rules, 3)
+        assert {r.rule_id for r in chosen} == {1, 2, 3}
+
+    def test_result_sorted_by_lower_bound(self):
+        rules = [rule_with_port_range(i * 100, i * 100 + 10, i) for i in (5, 1, 3, 2, 4)]
+        chosen = max_independent_set(rules, 3)
+        los = [r.ranges[3][0] for r in chosen]
+        assert los == sorted(los)
+
+
+class TestPartition:
+    def test_coverage_accounts_for_all_rules(self, acl_small):
+        result = partition_isets(acl_small)
+        covered = sum(len(iset) for iset in result.isets)
+        assert covered + len(result.remainder) == len(acl_small)
+
+    def test_isets_are_disjoint(self, acl_small):
+        result = partition_isets(acl_small)
+        seen = set()
+        for iset in result.isets:
+            ids = {rule.rule_id for rule in iset.rules}
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_isets_non_overlapping_in_their_dimension(self, acl_medium):
+        result = partition_isets(acl_medium, max_isets=3)
+        for iset in result.isets:
+            ranges = iset.ranges()
+            for (alo, ahi), (blo, bhi) in zip(ranges[:-1], ranges[1:]):
+                assert ahi < blo
+
+    def test_max_isets_respected(self, acl_small):
+        result = partition_isets(acl_small, max_isets=2)
+        assert len(result.isets) <= 2
+
+    def test_min_coverage_merges_small_isets_into_remainder(self, acl_small):
+        strict = partition_isets(acl_small, min_coverage=0.25)
+        for iset in strict.isets:
+            assert iset.coverage >= 0.25
+
+    def test_cumulative_coverage_monotone(self, acl_medium):
+        result = partition_isets(acl_medium, max_isets=4)
+        coverage = result.cumulative_coverage()
+        assert all(a <= b + 1e-12 for a, b in zip(coverage[:-1], coverage[1:]))
+        assert coverage[-1] == pytest.approx(result.coverage)
+
+    def test_greedy_picks_largest_first(self, acl_medium):
+        result = partition_isets(acl_medium, max_isets=4)
+        sizes = [len(iset) for iset in result.isets]
+        assert all(a >= b for a, b in zip(sizes[:-1], sizes[1:]))
+
+    def test_acl_coverage_better_than_low_diversity(self, acl_medium):
+        from repro.rules import generate_low_diversity
+
+        low = generate_low_diversity(1000, values_per_field=8, seed=1)
+        acl_cov = partition_isets(acl_medium, max_isets=2).coverage
+        low_cov = partition_isets(low, max_isets=2).coverage
+        assert acl_cov > low_cov
+
+    def test_diversity_upper_bounds_single_iset_coverage(self, acl_medium, fw_small):
+        # §3.7: the rule-set diversity of a field bounds the fraction of rules
+        # in the largest iSet of that field.
+        for ruleset in (acl_medium, fw_small):
+            best_diversity = max(ruleset.diversity().values())
+            result = partition_isets(ruleset, max_isets=1)
+            if result.isets:
+                assert result.isets[0].coverage <= best_diversity + 1e-9
+
+    def test_empty_ruleset(self):
+        empty = RuleSet([], FIVE_TUPLE)
+        result = partition_isets(empty)
+        assert result.isets == []
+        assert result.coverage == 0.0
+
+    def test_single_field_ruleset(self, forwarding_small):
+        result = partition_isets(forwarding_small, max_isets=4)
+        assert result.coverage > 0.5
+        for iset in result.isets:
+            assert iset.dim == 0

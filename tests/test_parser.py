@@ -1,0 +1,81 @@
+"""Tests for the ClassBench text format parser/writer."""
+
+import io
+
+import pytest
+
+from repro.rules import generate_classbench
+from repro.rules.parser import (
+    parse_classbench_lines,
+    parse_classbench_file,
+    write_classbench_file,
+)
+
+SAMPLE = """
+# a comment line
+@10.0.1.0/24 192.168.0.0/16 0 : 65535 80 : 80 0x06/0xFF
+@0.0.0.0/0   10.1.0.0/16    1024 : 65535 53 : 53 0x11/0xFF
+@172.16.5.4/32 0.0.0.0/0    0 : 65535 0 : 65535 0x00/0x00
+"""
+
+
+class TestParsing:
+    def test_parses_three_rules(self):
+        rs = parse_classbench_lines(SAMPLE.splitlines())
+        assert len(rs) == 3
+
+    def test_prefixes_become_ranges(self):
+        rs = parse_classbench_lines(SAMPLE.splitlines())
+        src_lo, src_hi = rs[0].ranges[0]
+        assert src_hi - src_lo + 1 == 256  # a /24
+        assert rs[1].ranges[0] == (0, 0xFFFFFFFF)  # a /0 wildcard
+
+    def test_ports_and_protocol(self):
+        rs = parse_classbench_lines(SAMPLE.splitlines())
+        assert rs[0].ranges[3] == (80, 80)
+        assert rs[1].ranges[2] == (1024, 65535)
+        assert rs[0].ranges[4] == (6, 6)
+        assert rs[2].ranges[4] == (0, 255)  # mask 0x00 => wildcard
+
+    def test_priorities_follow_file_order(self):
+        rs = parse_classbench_lines(SAMPLE.splitlines())
+        assert [r.priority for r in rs] == [0, 1, 2]
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_classbench_lines(["not a rule"])
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(SAMPLE)
+        rs = parse_classbench_file(path)
+        assert len(rs) == 3
+        assert rs.name == "rules"
+
+
+class TestWriting:
+    def test_roundtrip_preserves_semantics(self, tmp_path):
+        original = generate_classbench("acl1", 200, seed=5)
+        path = tmp_path / "acl.txt"
+        write_classbench_file(original, path)
+        parsed = parse_classbench_file(path)
+        assert len(parsed) == len(original)
+        # Same match decision for packets sampled from the original rules.
+        for packet in original.sample_packets(100, seed=1):
+            a = original.match(packet)
+            b = parsed.match(packet)
+            assert (a is None) == (b is None)
+            if a is not None and b is not None:
+                assert a.ranges == b.ranges
+
+    def test_write_to_stream(self):
+        original = generate_classbench("ipc2", 20, seed=5)
+        buffer = io.StringIO()
+        write_classbench_file(original, buffer)
+        text = buffer.getvalue()
+        assert text.count("\n") == 20
+        assert text.startswith("@")
+
+    def test_write_rejects_non_five_tuple(self, forwarding_small, tmp_path):
+        with pytest.raises(ValueError):
+            write_classbench_file(forwarding_small, tmp_path / "x.txt")

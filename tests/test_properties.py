@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RQRMIConfig
+from repro.core.isets import max_independent_set, partition_isets
+from repro.core.rqrmi import RQRMI, RangeSet
+from repro.core.submodel import Submodel
+from repro.rules.fields import (
+    FIVE_TUPLE,
+    prefix_to_range,
+    range_is_prefix,
+    range_to_prefixes,
+)
+from repro.rules.rule import Rule, RuleSet
+
+# ----------------------------------------------------------------- strategies
+
+ranges_16bit = st.lists(
+    st.tuples(st.integers(0, 65535), st.integers(0, 65535)).map(
+        lambda pair: (min(pair), max(pair))
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@st.composite
+def disjoint_ranges(draw, max_count=30, domain_bits=16):
+    """Sorted, pairwise-disjoint inclusive integer ranges."""
+    domain = 1 << domain_bits
+    count = draw(st.integers(1, max_count))
+    points = draw(
+        st.lists(
+            st.integers(0, domain - 1), min_size=2 * count, max_size=2 * count, unique=True
+        )
+    )
+    points.sort()
+    return [(points[2 * i], points[2 * i + 1]) for i in range(count)]
+
+
+@st.composite
+def random_rule(draw, rule_id=0):
+    ranges = []
+    for spec in FIVE_TUPLE:
+        lo = draw(st.integers(0, spec.max_value))
+        hi = draw(st.integers(lo, spec.max_value))
+        ranges.append((lo, hi))
+    return Rule(tuple(ranges), priority=rule_id, rule_id=rule_id)
+
+
+@st.composite
+def random_ruleset(draw, max_rules=25):
+    count = draw(st.integers(1, max_rules))
+    rules = [draw(random_rule(rule_id=i)) for i in range(count)]
+    return RuleSet(rules, FIVE_TUPLE)
+
+
+# ----------------------------------------------------------------- field properties
+
+
+class TestPrefixProperties:
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 32))
+    def test_prefix_range_contains_value_and_is_prefix(self, value, length):
+        lo, hi = prefix_to_range(value, length)
+        masked = lo
+        assert lo <= masked <= hi
+        assert range_is_prefix(lo, hi)
+        span = hi - lo + 1
+        assert span == 1 << (32 - length)
+
+    @given(st.integers(0, 1 << 20), st.integers(0, 1 << 20))
+    def test_range_to_prefixes_partitions_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        pieces = [prefix_to_range(v, l) for v, l in range_to_prefixes(lo, hi)]
+        pieces.sort()
+        assert pieces[0][0] == lo and pieces[-1][1] == hi
+        for (alo, ahi), (blo, bhi) in zip(pieces[:-1], pieces[1:]):
+            assert blo == ahi + 1
+
+
+# ----------------------------------------------------------------- rule-set properties
+
+
+class TestRuleSetProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset())
+    def test_match_agrees_with_all_matches(self, ruleset):
+        packet = ruleset.sample_packets(1, seed=0)[0]
+        best = ruleset.match(packet)
+        hits = ruleset.all_matches(packet)
+        assert (best is None) == (not hits)
+        if best is not None:
+            assert hits[0].priority == best.priority
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset())
+    def test_sampled_packet_matches_its_rule(self, ruleset):
+        for rule in list(ruleset)[:5]:
+            packet = rule.sample_packet()
+            assert rule.matches(packet)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset())
+    def test_diversity_bounded(self, ruleset):
+        for value in ruleset.diversity().values():
+            assert 0.0 < value <= 1.0
+
+
+# ----------------------------------------------------------------- iSet properties
+
+
+class TestISetProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset())
+    def test_max_independent_set_is_independent(self, ruleset):
+        for dim in range(len(FIVE_TUPLE)):
+            chosen = max_independent_set(list(ruleset.rules), dim)
+            ranges = sorted(rule.ranges[dim] for rule in chosen)
+            for (alo, ahi), (blo, bhi) in zip(ranges[:-1], ranges[1:]):
+                assert ahi < blo
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset())
+    def test_partition_conserves_rules(self, ruleset):
+        result = partition_isets(ruleset)
+        total = sum(len(iset) for iset in result.isets) + len(result.remainder)
+        assert total == len(ruleset)
+        ids = set()
+        for iset in result.isets:
+            ids |= {rule.rule_id for rule in iset.rules}
+        ids |= {rule.rule_id for rule in result.remainder}
+        assert ids == {rule.rule_id for rule in ruleset}
+
+
+# ----------------------------------------------------------------- submodel properties
+
+
+class TestSubmodelProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(-3, 3), min_size=25, max_size=25), st.floats(-1, 1))
+    def test_output_always_in_unit_interval(self, params, bias):
+        w1 = np.array(params[:8])
+        b1 = np.array(params[8:16])
+        w2 = np.array(params[16:24])
+        model = Submodel(w1, b1, w2, bias)
+        xs = np.linspace(0, 1, 50)
+        ys = model.predict_batch(xs)
+        assert np.all(ys >= 0.0) and np.all(ys < 1.0)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-3, 3), min_size=25, max_size=25), st.integers(2, 64))
+    def test_bucket_constant_between_transitions(self, params, width):
+        w1 = np.array(params[:8])
+        b1 = np.array(params[8:16])
+        w2 = np.array(params[16:24])
+        model = Submodel(w1, b1, w2, params[24] if len(params) > 24 else 0.0)
+        transitions = model.transition_inputs(width)
+        points = [0.0] + transitions + [1.0]
+        for a, b in zip(points[:-1], points[1:]):
+            if b - a < 1e-7:
+                continue
+            mid_buckets = {
+                model.bucket(a + (b - a) * frac, width) for frac in (0.25, 0.5, 0.75)
+            }
+            assert len(mid_buckets) == 1
+
+
+# ----------------------------------------------------------------- RQ-RMI properties
+
+
+class TestRQRMIProperties:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(disjoint_ranges(max_count=25, domain_bits=16))
+    def test_trained_model_always_finds_indexed_keys(self, ranges):
+        domain = 1 << 16
+        range_set = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(
+            range_set,
+            RQRMIConfig(stage_widths=[1, 4], adam_epochs=40, initial_samples=128),
+        )
+        for idx, (lo, hi) in enumerate(sorted(ranges)):
+            for key in {lo, hi, (lo + hi) // 2}:
+                assert model.query(key).index == idx
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(disjoint_ranges(max_count=25, domain_bits=16), st.integers(0, (1 << 16) - 1))
+    def test_query_never_returns_wrong_range(self, ranges, key):
+        domain = 1 << 16
+        range_set = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(
+            range_set,
+            RQRMIConfig(stage_widths=[1, 4], adam_epochs=40, initial_samples=128),
+        )
+        result = model.query(key).index
+        expected = range_set.locate(range_set.scale_key(key))
+        assert result == expected

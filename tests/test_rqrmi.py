@@ -1,0 +1,185 @@
+"""Tests for the RQ-RMI learned range index.
+
+The central property (Theorem A.13 / §3.3): after training, *every* key that
+falls inside an indexed range must be found by the bounded secondary search —
+the analytically computed error bound is a true worst-case bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RQRMIConfig
+from repro.core.rqrmi import RQRMI, RangeSet
+
+FAST = RQRMIConfig(adam_epochs=80, initial_samples=256)
+
+
+def random_disjoint_ranges(count, domain, seed=0, min_gap=1):
+    rng = np.random.default_rng(seed)
+    points = np.sort(rng.choice(domain, size=2 * count, replace=False))
+    return [(int(points[2 * i]), int(points[2 * i + 1])) for i in range(count)]
+
+
+class TestRangeSet:
+    def test_scaling_and_locate(self):
+        ranges = [(0, 9), (20, 29), (100, 199)]
+        rs = RangeSet.from_integer_ranges(ranges, 1 << 8)
+        assert len(rs) == 3
+        assert rs.locate(rs.scale_key(5)) == 0
+        assert rs.locate(rs.scale_key(25)) == 1
+        assert rs.locate(rs.scale_key(150)) == 2
+        assert rs.locate(rs.scale_key(15)) is None
+        assert rs.locate(rs.scale_key(250)) is None
+
+    def test_rejects_overlapping_ranges(self):
+        with pytest.raises(ValueError):
+            RangeSet.from_integer_ranges([(0, 10), (5, 20)], 1 << 8)
+
+    def test_empty(self):
+        rs = RangeSet.from_integer_ranges([], 1 << 8)
+        assert len(rs) == 0
+        assert rs.locate(0.5) is None
+
+
+class TestTraining:
+    def test_stage_widths_follow_config(self):
+        ranges = random_disjoint_ranges(100, 1 << 20, seed=1)
+        model = RQRMI.train(
+            RangeSet.from_integer_ranges(ranges, 1 << 20),
+            RQRMIConfig(stage_widths=[1, 4], adam_epochs=50),
+        )
+        assert model.stage_widths == [1, 4]
+
+    def test_first_stage_must_have_width_one(self):
+        ranges = random_disjoint_ranges(10, 1 << 16, seed=2)
+        with pytest.raises(ValueError):
+            RQRMI.train(
+                RangeSet.from_integer_ranges(ranges, 1 << 16),
+                RQRMIConfig(stage_widths=[2, 4]),
+            )
+
+    def test_training_report_populated(self):
+        ranges = random_disjoint_ranges(200, 1 << 24, seed=3)
+        model = RQRMI.train(RangeSet.from_integer_ranges(ranges, 1 << 24), FAST)
+        report = model.report
+        assert report.num_ranges == 200
+        assert report.training_seconds > 0
+        assert report.submodels_trained >= sum(model.stage_widths) - model.stage_widths[-1]
+        assert len(report.error_bounds) == model.stage_widths[-1]
+
+    def test_empty_rangeset_trains_trivially(self):
+        model = RQRMI.train(RangeSet.from_integer_ranges([], 1 << 16), FAST)
+        assert model.query(100).index is None
+
+    def test_single_range(self):
+        model = RQRMI.train(RangeSet.from_integer_ranges([(10, 20)], 1 << 16), FAST)
+        assert model.query(15).index == 0
+        assert model.query(9).index is None
+        assert model.query(21).index is None
+
+
+class TestLookupCorrectness:
+    """The headline guarantee: bounded search always finds the right range."""
+
+    @pytest.mark.parametrize("count,domain_bits,widths", [
+        (64, 16, [1, 4]),
+        (500, 32, [1, 4, 16]),
+        (2000, 32, [1, 4, 32]),
+    ])
+    def test_every_boundary_and_midpoint_found(self, count, domain_bits, widths):
+        domain = 1 << domain_bits
+        ranges = random_disjoint_ranges(count, domain, seed=count)
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(rs, RQRMIConfig(stage_widths=widths, adam_epochs=80))
+        for idx, (lo, hi) in enumerate(sorted(ranges)):
+            for key in {lo, hi, (lo + hi) // 2}:
+                assert model.query(key).index == idx
+
+    def test_exhaustive_small_domain(self):
+        # Small enough to check literally every key in the domain.
+        domain = 1 << 10
+        ranges = [(0, 30), (40, 99), (120, 120), (200, 450), (600, 1000)]
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(rs, RQRMIConfig(stage_widths=[1, 4], adam_epochs=80))
+        for key in range(domain):
+            expected = rs.locate(rs.scale_key(key))
+            assert model.query(key).index == expected
+
+    def test_non_matching_keys_return_none(self):
+        domain = 1 << 20
+        ranges = random_disjoint_ranges(100, domain, seed=9)
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(rs, FAST)
+        rng = np.random.default_rng(10)
+        for key in rng.integers(0, domain, size=300):
+            expected = rs.locate(rs.scale_key(int(key)))
+            assert model.query(int(key)).index == expected
+
+    def test_error_bound_is_respected(self):
+        domain = 1 << 24
+        ranges = random_disjoint_ranges(500, domain, seed=11)
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(rs, FAST)
+        for idx, (lo, hi) in enumerate(sorted(ranges)):
+            for key in (lo, hi):
+                lookup = model.query(key)
+                assert abs(lookup.predicted_index - idx) <= lookup.error_bound
+
+    def test_query_batch_matches_scalar(self):
+        domain = 1 << 20
+        ranges = random_disjoint_ranges(200, domain, seed=12)
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        model = RQRMI.train(rs, FAST)
+        keys = np.random.default_rng(13).integers(0, domain, size=200)
+        batch = model.query_batch(keys)
+        for key, predicted in zip(keys, batch):
+            scalar = model.query(int(key)).index
+            expected = -1 if scalar is None else scalar
+            assert predicted == expected
+
+
+class TestErrorBoundAndRetraining:
+    def test_tight_threshold_triggers_retraining_or_converges(self):
+        domain = 1 << 24
+        ranges = random_disjoint_ranges(800, domain, seed=14)
+        rs = RangeSet.from_integer_ranges(ranges, domain)
+        strict = RQRMI.train(
+            rs, RQRMIConfig(stage_widths=[1, 4], error_threshold=8,
+                            adam_epochs=80, max_retrain_attempts=2)
+        )
+        relaxed = RQRMI.train(
+            rs, RQRMIConfig(stage_widths=[1, 4], error_threshold=256, adam_epochs=80)
+        )
+        # A stricter threshold can only lead to equal or more retraining work.
+        assert strict.report.retrain_attempts >= relaxed.report.retrain_attempts
+
+    def test_max_error_consistent_with_bounds(self):
+        domain = 1 << 20
+        ranges = random_disjoint_ranges(300, domain, seed=15)
+        model = RQRMI.train(RangeSet.from_integer_ranges(ranges, domain), FAST)
+        assert model.max_error == max(model.error_bounds)
+
+    def test_size_bytes_scales_with_submodels(self):
+        domain = 1 << 20
+        ranges = random_disjoint_ranges(300, domain, seed=16)
+        small = RQRMI.train(
+            RangeSet.from_integer_ranges(ranges, domain),
+            RQRMIConfig(stage_widths=[1, 4], adam_epochs=40),
+        )
+        large = RQRMI.train(
+            RangeSet.from_integer_ranges(ranges, domain),
+            RQRMIConfig(stage_widths=[1, 4, 16], adam_epochs=40),
+        )
+        assert large.size_bytes() > small.size_bytes()
+        # 500K-rule models must stay within tens of KB (paper: 35KB); at this
+        # small scale the model must be a few KB at most.
+        assert large.size_bytes() < 10_000
+
+    def test_statistics_keys(self):
+        domain = 1 << 16
+        ranges = random_disjoint_ranges(50, domain, seed=17)
+        model = RQRMI.train(RangeSet.from_integer_ranges(ranges, domain), FAST)
+        stats = model.statistics()
+        for key in ("num_ranges", "stage_widths", "max_error", "size_bytes",
+                    "training_seconds", "converged"):
+            assert key in stats

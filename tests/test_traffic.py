@@ -1,0 +1,85 @@
+"""Tests for the trace generators (uniform, Zipf, CAIDA-like)."""
+
+import pytest
+
+from repro.traffic import (
+    ZIPF_ALPHAS,
+    generate_caida_like_trace,
+    generate_uniform_trace,
+    generate_zipf_trace,
+    zipf_alpha_for_top3_share,
+)
+
+
+class TestUniformTrace:
+    def test_every_packet_matches_a_rule(self, acl_small):
+        trace = generate_uniform_trace(acl_small, 300, seed=1)
+        assert len(trace) == 300
+        for packet in trace:
+            assert acl_small.match(packet) is not None
+
+    def test_deterministic(self, acl_small):
+        a = generate_uniform_trace(acl_small, 100, seed=5)
+        b = generate_uniform_trace(acl_small, 100, seed=5)
+        assert [p.values for p in a] == [p.values for p in b]
+
+    def test_metadata(self, acl_small):
+        trace = generate_uniform_trace(acl_small, 10, seed=2)
+        assert trace.metadata["distribution"] == "uniform"
+        assert trace.metadata["ruleset"] == acl_small.name
+
+    def test_low_locality(self, acl_small):
+        trace = generate_uniform_trace(acl_small, 400, seed=3)
+        # Fresh random packets per rule: most packets should be distinct.
+        assert trace.unique_fraction() > 0.8
+
+
+class TestZipfTrace:
+    def test_alpha_mapping(self):
+        assert zipf_alpha_for_top3_share(80) == ZIPF_ALPHAS[80]
+        with pytest.raises(ValueError):
+            zipf_alpha_for_top3_share(50)
+
+    def test_every_packet_matches(self, acl_small):
+        trace = generate_zipf_trace(acl_small, 300, top3_share=90, seed=1)
+        for packet in trace:
+            assert acl_small.match(packet) is not None
+
+    def test_higher_skew_more_concentrated(self, acl_small):
+        low = generate_zipf_trace(acl_small, 2000, top3_share=80, seed=2)
+        high = generate_zipf_trace(acl_small, 2000, top3_share=95, seed=2)
+        assert high.top_flow_share(0.03) > low.top_flow_share(0.03)
+
+    def test_skewed_trace_has_repeats(self, acl_small):
+        trace = generate_zipf_trace(acl_small, 1000, top3_share=95, seed=3)
+        assert trace.unique_fraction() < 0.9
+
+
+class TestCaidaLikeTrace:
+    def test_every_packet_matches(self, acl_small):
+        trace = generate_caida_like_trace(acl_small, 300, seed=1)
+        for packet in trace:
+            assert acl_small.match(packet) is not None
+
+    def test_flow_consistency(self, acl_small):
+        trace = generate_caida_like_trace(acl_small, 500, num_flows=32, seed=2)
+        # With only 32 flows, at most 32 distinct five-tuples can appear.
+        assert len({p.values for p in trace}) <= 32
+
+    def test_burstiness_increases_locality(self, acl_small):
+        smooth = generate_caida_like_trace(acl_small, 1000, seed=3, burstiness=0.0)
+        bursty = generate_caida_like_trace(acl_small, 1000, seed=3, burstiness=0.95)
+
+        def repeat_fraction(trace):
+            repeats = sum(
+                1
+                for a, b in zip(trace.packets[:-1], trace.packets[1:])
+                if a.values == b.values
+            )
+            return repeats / (len(trace) - 1)
+
+        assert repeat_fraction(bursty) > repeat_fraction(smooth)
+
+    def test_top_flow_share_reported(self, acl_small):
+        trace = generate_caida_like_trace(acl_small, 500, seed=4)
+        assert 0.0 < trace.top_flow_share(0.03) <= 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for submodel training: sampling, least squares, Adam."""
+
+import numpy as np
+import pytest
+
+from repro.core.submodel import Submodel
+from repro.core.training import (
+    TrainingDataset,
+    fit_output_layer,
+    sample_responsibility,
+    train_submodel,
+)
+
+
+def scaled_ranges(int_ranges, domain):
+    lo = np.array([r[0] for r in int_ranges], dtype=np.float64) / domain
+    hi = np.array([r[1] for r in int_ranges], dtype=np.float64) / domain
+    return lo, hi
+
+
+class TestSampling:
+    def test_samples_fall_inside_ranges(self):
+        domain = 1 << 16
+        ranges = [(0, 999), (2000, 2999), (10_000, 19_999)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(0)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 500, len(ranges), rng)
+        assert len(ds) > 0
+        for x, y in zip(ds.xs, ds.ys):
+            idx = int(round(y * len(ranges)))
+            assert lo[idx] <= x <= hi[idx]
+
+    def test_targets_are_scaled_indices(self):
+        domain = 1 << 16
+        ranges = [(0, 99), (200, 299)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(1)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 200, 2, rng)
+        assert set(np.round(ds.ys * 2).astype(int)) <= {0, 1}
+
+    def test_respects_responsibility(self):
+        domain = 1 << 16
+        ranges = [(0, 999), (30_000, 39_999)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(2)
+        # Responsibility only covers the first range.
+        ds = sample_responsibility([(0.0, 0.1)], lo, hi, 300, 2, rng)
+        assert np.all(ds.xs <= 0.1 + 1e-9)
+
+    def test_boundary_points_included_for_sparse_sampling(self):
+        domain = 1 << 24
+        ranges = [(5_000_000, 5_000_001)]  # tiny range, unlikely to be hit
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(3)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 10, 1, rng, include_boundaries=True)
+        assert len(ds) >= 2  # the two boundary points
+
+    def test_empty_when_no_ranges(self):
+        rng = np.random.default_rng(4)
+        ds = sample_responsibility([(0.0, 1.0)], np.empty(0), np.empty(0), 100, 1, rng)
+        assert len(ds) == 0
+
+    def test_xs_sorted(self):
+        domain = 1 << 16
+        ranges = [(i * 1000, i * 1000 + 500) for i in range(20)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(5)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 400, 20, rng)
+        assert np.all(np.diff(ds.xs) >= 0)
+
+
+class TestLeastSquares:
+    def test_fits_linear_function_exactly(self):
+        xs = np.linspace(0, 1, 100)
+        ys = 0.5 * xs + 0.1
+        w1 = np.ones(8)
+        b1 = -np.linspace(0, 1, 8, endpoint=False)
+        w2, b2 = fit_output_layer(xs, ys, w1, b1)
+        model = Submodel(w1, b1, w2, b2)
+        preds = model.raw_batch(xs)
+        assert np.max(np.abs(preds - ys)) < 1e-8
+
+
+class TestTrainSubmodel:
+    def test_learns_step_mapping(self):
+        # Ten ranges evenly spread: target is a staircase the model must follow
+        # closely enough for floor(M(x) * 10) to be near the true index.
+        domain = 1 << 16
+        ranges = [(i * 6000, i * 6000 + 3000) for i in range(10)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(6)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 2000, 10, rng)
+        model = train_submodel(ds, epochs=200, seed=1)
+        predicted = np.minimum((model.predict_batch(ds.xs) * 10).astype(int), 9)
+        true = np.round(ds.ys * 10).astype(int)
+        assert np.mean(np.abs(predicted - true) <= 1) > 0.95
+
+    def test_empty_dataset_returns_identity_like_model(self):
+        model = train_submodel(TrainingDataset(np.empty(0), np.empty(0)))
+        assert isinstance(model, Submodel)
+
+    def test_single_point_dataset(self):
+        ds = TrainingDataset(np.array([0.5]), np.array([0.25]))
+        model = train_submodel(ds, epochs=10)
+        assert model(0.5) == pytest.approx(0.25, abs=1e-6)
+
+    def test_zero_epochs_uses_least_squares_only(self):
+        domain = 1 << 16
+        ranges = [(i * 6000, i * 6000 + 3000) for i in range(10)]
+        lo, hi = scaled_ranges(ranges, domain)
+        rng = np.random.default_rng(7)
+        ds = sample_responsibility([(0.0, 1.0)], lo, hi, 1000, 10, rng)
+        model = train_submodel(ds, epochs=0)
+        predicted = model.predict_batch(ds.xs)
+        assert float(np.mean((predicted - ds.ys) ** 2)) < 0.01
+
+    def test_training_is_deterministic_given_seed(self):
+        domain = 1 << 16
+        ranges = [(i * 3000, i * 3000 + 1000) for i in range(5)]
+        lo, hi = scaled_ranges(ranges, domain)
+        ds = sample_responsibility(
+            [(0.0, 1.0)], lo, hi, 500, 5, np.random.default_rng(8)
+        )
+        a = train_submodel(ds, epochs=50, seed=3)
+        b = train_submodel(ds, epochs=50, seed=3)
+        assert np.allclose(a.w1, b.w1) and np.allclose(a.w2, b.w2)

@@ -1,0 +1,157 @@
+"""Tests for online updates (§3.9) and the update-rate analytical model."""
+
+import math
+
+import pytest
+
+from repro.core.nuevomatch import NuevoMatch
+from repro.core.updates import (
+    UpdatableNuevoMatch,
+    expected_unmodified_rules,
+    sustained_update_rate,
+    throughput_over_time,
+    throughput_with_updates,
+)
+from repro.rules.rule import Rule
+from conftest import fast_nm_config
+
+
+@pytest.fixture()
+def updatable(acl_small):
+    nm = NuevoMatch.build(acl_small, remainder_classifier="tm", config=fast_nm_config())
+    return UpdatableNuevoMatch(nm, retrain_threshold=0.5)
+
+
+def fresh_rule(rule_id, value=12345):
+    return Rule(
+        ((value, value), (value, value), (80, 80), (443, 443), (6, 6)),
+        priority=-1,
+        action="new",
+        rule_id=rule_id,
+    )
+
+
+class TestUpdatableNuevoMatch:
+    def test_requires_updatable_remainder(self, acl_small):
+        nm = NuevoMatch.build(acl_small, remainder_classifier="cs", config=fast_nm_config())
+        with pytest.raises(TypeError):
+            UpdatableNuevoMatch(nm)
+
+    def test_add_rule_goes_to_remainder(self, updatable):
+        rule = fresh_rule(50_000)
+        updatable.add(rule)
+        found = updatable.classify((12345, 12345, 80, 443, 6))
+        assert found is not None and found.rule_id == 50_000
+
+    def test_delete_rule(self, updatable, acl_small):
+        victim = acl_small[0]
+        packet = victim.sample_packet()
+        assert updatable.delete(victim.rule_id)
+        result = updatable.classify(packet)
+        assert result is None or result.rule_id != victim.rule_id
+
+    def test_delete_unknown_returns_false(self, updatable):
+        assert not updatable.delete(10**9)
+
+    def test_change_action(self, updatable, acl_small):
+        victim = acl_small[3]
+        assert updatable.change_action(victim.rule_id, "drop")
+        live = updatable.current_rules().by_id()[victim.rule_id]
+        assert live.action == "drop"
+
+    def test_modify_moves_rule_to_remainder(self, updatable):
+        updated = fresh_rule(1, value=999)
+        before = updatable.remainder_fraction
+        updatable.modify(updated)
+        assert updatable.remainder_fraction >= before
+        found = updatable.classify((999, 999, 80, 443, 6))
+        assert found is not None and found.rule_id == 1
+
+    def test_remainder_growth_triggers_retraining_flag(self, updatable, acl_small):
+        assert not updatable.needs_retraining()
+        # Adding 1.5x the original rule count pushes the remainder fraction
+        # ((base_remainder + added) / (original + added)) past the 0.5 threshold.
+        for index in range(int(len(acl_small) * 1.5)):
+            updatable.add(fresh_rule(100_000 + index, value=index + 1))
+        assert updatable.needs_retraining()
+
+    def test_retrain_resets_state(self, updatable):
+        for index in range(20):
+            updatable.add(fresh_rule(200_000 + index, value=index + 7))
+        rebuilt = updatable.retrain()
+        assert updatable.retrain_count == 1
+        assert updatable.remainder_fraction <= 1.0
+        assert len(rebuilt.ruleset) == len(updatable.current_rules())
+        found = updatable.classify((8, 8, 80, 443, 6))
+        assert found is not None
+
+    def test_current_rules_reflects_adds_and_deletes(self, updatable, acl_small):
+        original = len(acl_small)
+        updatable.add(fresh_rule(300_000))
+        updatable.delete(acl_small[0].rule_id)
+        assert len(updatable.current_rules()) == original
+
+
+class TestAnalyticModel:
+    def test_expected_unmodified_matches_formula(self):
+        assert expected_unmodified_rules(1000, 0) == pytest.approx(1000)
+        assert expected_unmodified_rules(1000, 1000) == pytest.approx(1000 * math.exp(-1))
+        assert expected_unmodified_rules(0, 10) == 0.0
+
+    def test_throughput_interpolates_between_extremes(self):
+        nm_tp, rem_tp = 5e6, 1e6
+        none = throughput_with_updates(1000, 0, nm_tp, rem_tp)
+        many = throughput_with_updates(1000, 100_000, nm_tp, rem_tp)
+        assert none == pytest.approx(nm_tp)
+        assert many == pytest.approx(rem_tp, rel=0.01)
+        mid = throughput_with_updates(1000, 500, nm_tp, rem_tp)
+        assert rem_tp < mid < nm_tp
+
+    def test_throughput_over_time_shape(self):
+        series = throughput_over_time(
+            total_rules=10_000,
+            update_rate=100.0,
+            retrain_period=60.0,
+            training_time=30.0,
+            nuevomatch_throughput=5e6,
+            remainder_throughput=1e6,
+            horizon=300.0,
+            step=1.0,
+        )
+        assert len(series) == 301
+        times, values = zip(*series)
+        assert times[0] == 0.0 and times[-1] == 300.0
+        # Throughput degrades within a period and recovers after retraining.
+        assert min(values) < values[0]
+        assert max(values[150:]) > min(values[:150])
+
+    def test_zero_training_time_is_upper_bound(self):
+        common = dict(
+            total_rules=10_000,
+            update_rate=200.0,
+            retrain_period=60.0,
+            nuevomatch_throughput=5e6,
+            remainder_throughput=1e6,
+            horizon=240.0,
+        )
+        instant = throughput_over_time(training_time=0.0, **common)
+        slow = throughput_over_time(training_time=50.0, **common)
+        assert sum(v for _, v in instant) >= sum(v for _, v in slow)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_over_time(1000, 1.0, 0.0, 1.0, 2e6, 1e6, 10.0)
+
+    def test_sustained_update_rate_paper_scale(self):
+        # §3.9: ~4K updates/s for 500K rules, minute-long training, half speedup.
+        rate = sustained_update_rate(
+            total_rules=500_000,
+            training_time=60.0,
+            nuevomatch_throughput=2.4e6,
+            remainder_throughput=1.0e6,
+            target_fraction=0.5,
+        )
+        assert 1_000 < rate < 20_000
+
+    def test_sustained_rate_zero_when_no_speedup(self):
+        assert sustained_update_rate(1000, 60, 1e6, 1e6) == 0.0
