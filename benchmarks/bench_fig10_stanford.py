@@ -13,7 +13,7 @@ from repro.core.nuevomatch import NuevoMatch
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, bench_rqrmi_config, current_scale, report, stanford
+from bench_helpers import bench_cost_model, bench_rqrmi_config, current_scale, report, stanford
 
 PAPER = {"throughput": 3.5, "latency": 7.5}
 

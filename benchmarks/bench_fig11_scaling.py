@@ -12,7 +12,7 @@ from repro.analysis import format_table
 from repro.simulation import CacheHierarchy, CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cache, bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cache, bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 
 def test_fig11_throughput_vs_rules(benchmark):

@@ -25,7 +25,7 @@ from repro.simulation import (
 )
 from repro.traffic import generate_caida_like_trace, generate_zipf_trace
 
-from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 PAPER = {
     "zipf-80": (2.06, 1.14),

@@ -10,7 +10,7 @@ it from L3/DRAM territory back under the L2 (and mostly L1) size.
 from repro.analysis import compare_footprints, format_table, geometric_mean
 from repro.simulation import CacheHierarchy
 
-from conftest import bench_cache, bench_nm_config, current_scale, report, ruleset
+from bench_helpers import bench_cache, bench_nm_config, current_scale, report, ruleset
 
 PAPER_COMPRESSION_500K = {"cs": 4.9, "nc": 8.0, "tm": 82.0}
 

@@ -14,7 +14,7 @@ from repro.core.nuevomatch import NuevoMatch
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, bench_rqrmi_config, build_baseline, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, bench_rqrmi_config, build_baseline, current_scale, report, ruleset
 
 
 def test_fig14_iset_count_breakdown(benchmark):

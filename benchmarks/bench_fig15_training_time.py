@@ -14,7 +14,7 @@ import numpy as np
 from repro.analysis import format_table
 from repro.core.rqrmi import RQRMI, RangeSet
 
-from conftest import bench_rqrmi_config, current_scale, report
+from bench_helpers import bench_rqrmi_config, current_scale, report
 
 BOUNDS = [64, 128, 256, 512, 1024]
 

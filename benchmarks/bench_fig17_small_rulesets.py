@@ -11,7 +11,7 @@ from repro.analysis import format_table, geometric_mean
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 
 def test_fig17_small_rulesets(benchmark):

@@ -22,7 +22,7 @@ from repro.rules.rule import Rule
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, bench_nm_config, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, bench_nm_config, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 
 def test_fig7_throughput_under_updates(benchmark):

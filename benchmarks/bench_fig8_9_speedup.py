@@ -19,7 +19,7 @@ from repro.analysis import format_table, geometric_mean
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 PAPER_GM = {
     # (figure, size_label, baseline) -> (latency speedup, throughput speedup)

@@ -17,7 +17,7 @@ from repro.simulation import (
 )
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
 
 PAPER = {"cs_loss": 0.50, "nm_loss": 0.30}
 

@@ -15,7 +15,7 @@ from repro.analysis import format_table
 from repro.core.rqrmi import RQRMI, RangeSet
 from repro.simulation import CostModel
 
-from conftest import bench_rqrmi_config, current_scale, report, ruleset
+from bench_helpers import bench_rqrmi_config, current_scale, report, ruleset
 from repro.core.isets import partition_isets
 
 

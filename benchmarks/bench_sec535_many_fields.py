@@ -18,7 +18,7 @@ from repro.rules.rule import Rule, RuleSet
 from repro.simulation import CostModel
 from repro.classifiers.base import LookupTrace
 
-from conftest import report
+from bench_helpers import report
 
 FIELD_COUNTS = [1, 5, 10, 20, 40]
 PAPER = {1: 25, 40: 180}

@@ -13,7 +13,7 @@ from repro.analysis import format_table
 from repro.core.submodel import Submodel
 from repro.simulation import VECTOR_WIDTHS, inference_time_ns, measure_inference_ns
 
-from conftest import report
+from bench_helpers import report
 
 PAPER_TABLE1 = {"Serial": 126.0, "SSE": 62.0, "AVX": 49.0}
 

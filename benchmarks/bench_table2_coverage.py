@@ -19,7 +19,7 @@ import statistics
 from repro.analysis import coverage_report, format_table
 from repro.core.isets import partition_isets
 
-from conftest import current_scale, report, ruleset, stanford
+from bench_helpers import current_scale, report, ruleset, stanford
 
 PAPER_TABLE2 = {
     "1K": [20.2, 28.9, 34.6, 38.7],

@@ -22,7 +22,7 @@ from repro.rules import blend_rulesets, generate_low_diversity
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from conftest import bench_cost_model, bench_rqrmi_config, current_scale, report, ruleset
+from bench_helpers import bench_cost_model, bench_rqrmi_config, current_scale, report, ruleset
 
 PAPER_TABLE3 = {70: (25, 1.07), 50: (50, 1.14), 30: (70, 1.60)}
 

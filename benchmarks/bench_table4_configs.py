@@ -20,7 +20,7 @@ from repro.analysis import format_table
 from repro.core.config import TABLE4_CONFIGS, stage_widths_for_rules
 from repro.core.rqrmi import RQRMI, RangeSet
 
-from conftest import bench_rqrmi_config, report
+from bench_helpers import bench_rqrmi_config, report
 
 
 def _disjoint_ranges(count: int, domain_bits: int = 32, seed: int = 0):

@@ -1,187 +1,18 @@
-"""Shared infrastructure for the benchmark harness.
+"""Pytest fixtures for the benchmark harness.
 
-Every file in this directory regenerates one table or figure of the paper
-(see DESIGN.md §3 for the index).  Benchmarks run at a reduced scale by
-default so the whole suite finishes in minutes on a laptop; set the
-``REPRO_SCALE`` environment variable to change that:
-
-* ``REPRO_SCALE=ci``    (default) — "large" rule-sets are 20K rules, 4 apps.
-* ``REPRO_SCALE=small``            — 50K rules, 6 apps.
-* ``REPRO_SCALE=full``             — the paper's 500K rules and all 12 apps
-  (hours of CPU time; intended for unattended runs).
-
-The generated tables are printed to stdout (run pytest with ``-s`` to see
-them live) and appended to ``benchmarks/results/<experiment>.txt`` so the
-numbers can be copied into EXPERIMENTS.md.
+All shared logic lives in :mod:`bench_helpers`; only fixtures belong here.
+Keeping ``conftest.py`` free of importable helpers means its module name can
+never collide with the test suite's conftest (both directories are
+non-packages, so both would otherwise import as the top-level ``conftest``).
 """
 
 from __future__ import annotations
 
-import os
-from functools import lru_cache
-from pathlib import Path
-
 import pytest
 
-from repro.core.config import NuevoMatchConfig, RQRMIConfig
-from repro.core.nuevomatch import NuevoMatch
-from repro.rules import generate_classbench, generate_stanford_backbone
-from repro.traffic import generate_uniform_trace
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-#: Scale presets: rule-set sizes standing in for the paper's 1K/10K/100K/500K,
-#: the applications evaluated, trace length and packets evaluated per config.
-#: ``cache_divisor`` scales the modelled L2/L3 sizes down together with the
-#: rule counts so the paper's cache-level crossovers (which drive its speedups)
-#: happen at the reduced scales as well; L1 is kept at 32 KB because the
-#: RQ-RMI models are full-size regardless of scale.  At ``full`` scale the
-#: unmodified Xeon Silver 4116 hierarchy is used.
-SCALES = {
-    "ci": {
-        "sizes": {"1K": 1000, "10K": 2500, "100K": 8000, "500K": 20000},
-        "applications": ["acl1", "acl5", "fw1", "ipc1"],
-        "trace_packets": 200,
-        "stanford_rules": 20000,
-        "cache_divisor": 8,
-    },
-    "small": {
-        "sizes": {"1K": 1000, "10K": 10000, "100K": 25000, "500K": 50000},
-        "applications": ["acl1", "acl3", "acl5", "fw1", "fw3", "ipc1"],
-        "trace_packets": 500,
-        "stanford_rules": 50000,
-        "cache_divisor": 4,
-    },
-    "full": {
-        "sizes": {"1K": 1000, "10K": 10000, "100K": 100000, "500K": 500000},
-        "applications": [
-            "acl1", "acl2", "acl3", "acl4", "acl5",
-            "fw1", "fw2", "fw3", "fw4", "fw5", "ipc1", "ipc2",
-        ],
-        "trace_packets": 2000,
-        "stanford_rules": 180000,
-        "cache_divisor": 1,
-    },
-}
-
-
-def current_scale() -> dict:
-    name = os.environ.get("REPRO_SCALE", "ci")
-    if name not in SCALES:
-        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
-    return SCALES[name]
+from bench_helpers import current_scale
 
 
 @pytest.fixture(scope="session")
 def scale() -> dict:
     return current_scale()
-
-
-def bench_cache(l3_limit_bytes: int | None = None):
-    """The cache hierarchy used by the benchmarks, scaled per REPRO_SCALE.
-
-    L2 and L3 shrink by the scale's ``cache_divisor`` so index structures
-    cross cache-level boundaries at the same relative rule counts as in the
-    paper; an explicit ``l3_limit_bytes`` (the CAT experiments) is scaled by
-    the same factor.
-    """
-    from repro.simulation import CacheHierarchy
-    from repro.simulation.cache import CacheLevel
-
-    divisor = current_scale()["cache_divisor"]
-    if divisor == 1:
-        return CacheHierarchy.xeon_silver_4116(l3_limit_bytes=l3_limit_bytes)
-    l3_bytes = 16 * 1024 * 1024 if l3_limit_bytes is None else l3_limit_bytes
-    l3_bytes = max(l3_bytes // divisor, 96 * 1024)
-    return CacheHierarchy(
-        levels=[
-            CacheLevel("L1", 32 * 1024, 4.0),
-            CacheLevel("L2", max(1024 * 1024 // divisor, 64 * 1024), 14.0),
-            CacheLevel("L3", l3_bytes, 68.0),
-        ],
-        dram_latency_cycles=220.0,
-        frequency_ghz=2.1,
-    )
-
-
-def bench_cost_model(locality: float = 0.0, l3_limit_bytes: int | None = None):
-    """A CostModel over :func:`bench_cache`."""
-    from repro.simulation import CostModel
-
-    return CostModel(cache=bench_cache(l3_limit_bytes), locality=locality)
-
-
-# --------------------------------------------------------------------- caching
-#
-# Rule-sets, traces and built classifiers are shared across benchmark files via
-# module-level caches keyed by their generation parameters.
-
-
-@lru_cache(maxsize=64)
-def ruleset(application: str, size: int, seed: int = 0):
-    return generate_classbench(application, size, seed=seed)
-
-
-@lru_cache(maxsize=8)
-def stanford(size: int, seed: int = 0):
-    return generate_stanford_backbone(size, seed=seed)
-
-
-@lru_cache(maxsize=64)
-def uniform_trace(application: str, size: int, packets: int, seed: int = 0):
-    return generate_uniform_trace(ruleset(application, size), packets, seed=seed)
-
-
-def bench_rqrmi_config(**overrides) -> RQRMIConfig:
-    """RQ-RMI settings used by the benchmarks (paper defaults, fewer epochs)."""
-    params = dict(adam_epochs=120, initial_samples=512, error_threshold=64)
-    params.update(overrides)
-    return RQRMIConfig(**params)
-
-
-def bench_nm_config(remainder: str = "tm", **rqrmi_overrides) -> NuevoMatchConfig:
-    """NuevoMatch settings per §5.1: coverage cut-off 5% for tm, 25% otherwise."""
-    min_coverage = 0.05 if remainder == "tm" else 0.25
-    return NuevoMatchConfig(
-        max_isets=4 if remainder == "tm" else 2,
-        min_iset_coverage=min_coverage,
-        rqrmi=bench_rqrmi_config(**rqrmi_overrides),
-    )
-
-
-_classifier_cache: dict = {}
-
-
-def build_baseline(name: str, application: str, size: int):
-    """Build (and cache) a stand-alone baseline classifier."""
-    from repro.classifiers import CLASSIFIER_REGISTRY
-
-    key = ("base", name, application, size)
-    if key not in _classifier_cache:
-        _classifier_cache[key] = CLASSIFIER_REGISTRY[name].build(ruleset(application, size))
-    return _classifier_cache[key]
-
-
-def build_nuevomatch(remainder: str, application: str, size: int) -> NuevoMatch:
-    """Build (and cache) NuevoMatch with the given remainder classifier."""
-    key = ("nm", remainder, application, size)
-    if key not in _classifier_cache:
-        _classifier_cache[key] = NuevoMatch.build(
-            ruleset(application, size),
-            remainder_classifier=remainder,
-            config=bench_nm_config(remainder),
-        )
-    return _classifier_cache[key]
-
-
-# --------------------------------------------------------------------- reporting
-
-
-def report(experiment: str, text: str) -> None:
-    """Print a reproduced table/series and persist it under benchmarks/results/."""
-    print(f"\n===== {experiment} =====")
-    print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{experiment}.txt"
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(text + "\n")

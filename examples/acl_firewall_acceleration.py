@@ -16,7 +16,7 @@ import argparse
 
 from repro import NuevoMatch, NuevoMatchConfig, generate_classbench
 from repro.analysis import format_table, geometric_mean
-from repro.classifiers import CLASSIFIER_REGISTRY
+from repro.classifiers import resolve_classifier
 from repro.core.config import RQRMIConfig
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace, generate_zipf_trace
@@ -38,7 +38,7 @@ def main() -> None:
 
     rows = []
     for baseline_name in ("tm", "cs"):
-        baseline_cls = CLASSIFIER_REGISTRY[baseline_name]
+        baseline_cls = resolve_classifier(baseline_name)
         print(f"\nBuilding {baseline_name} and NuevoMatch w/ {baseline_name} remainder...")
         baseline = baseline_cls.build(rules)
         nm = NuevoMatch.build(

@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy flows (``python setup.py develop``, offline environments whose
+setuptools predates built-in ``bdist_wheel``) can still install the package;
+``pip install -e .`` is the supported path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,30 +1,42 @@
 """NuevoMatch reproduction: RQ-RMI learned packet classification.
 
 This package reproduces "A Computational Approach to Packet Classification"
-(Rashelbach, Rottenstreich, Silberstein — SIGCOMM 2020).  It provides:
+(Rashelbach, Rottenstreich, Silberstein — SIGCOMM 2020).  The canonical
+serving API is the :class:`ClassificationEngine` facade: batch-first lookups
+over any registered classifier, with save/load persistence so RQ-RMI training
+cost is paid once per rule-set::
 
+    from repro import ClassificationEngine, generate_classbench
+
+    rules = generate_classbench("acl1", 1000, seed=1)
+    engine = ClassificationEngine.build(rules, classifier="nm",
+                                        remainder_classifier="tm")
+    packets = rules.sample_packets(256, seed=2)
+    results = engine.classify_batch(packets)      # vectorized RQ-RMI inference
+    engine.save("acl1.engine.json.gz")
+    restored = ClassificationEngine.load("acl1.engine.json.gz")
+
+Classifiers are registered by name (``repro.classifiers.register``); resolve
+and build them with :func:`build_classifier` and list them with
+:func:`available_classifiers`.
+
+Subsystems:
+
+* :mod:`repro.engine` — the :class:`ClassificationEngine` serving facade:
+  build → serve → update → persist.
 * :mod:`repro.core` — the RQ-RMI learned range index, iSet partitioning and
   the end-to-end NuevoMatch classifier (the paper's contribution).
 * :mod:`repro.rules` — rule model, ClassBench-like and Stanford-backbone-like
   rule-set generators, and the ClassBench text format parser.
-* :mod:`repro.classifiers` — baseline classifiers used both as comparison
-  points and as remainder-set indexes: linear search, Tuple Space Search,
-  TupleMerge, HiCuts, CutSplit, and a NeuroCuts-style optimised tree.
+* :mod:`repro.classifiers` — the classifier registry plus baselines used both
+  as comparison points and as remainder-set indexes: linear search, Tuple
+  Space Search, TupleMerge, HiCuts, CutSplit, and a NeuroCuts-style tree.
 * :mod:`repro.traffic` — packet traces: uniform, Zipf-skewed and CAIDA-like.
 * :mod:`repro.simulation` — cache-hierarchy and memory-access cost model used
-  to reproduce the paper's throughput/latency-shaped experiments.
+  to reproduce the paper's throughput/latency-shaped experiments, including
+  batch-level accounting (:func:`repro.simulation.evaluate_classifier_batched`).
 * :mod:`repro.analysis` — memory-footprint accounting, coverage analysis and
   reporting helpers used by the benchmark harness.
-
-Quickstart::
-
-    from repro import generate_classbench, NuevoMatch
-    from repro.classifiers import TupleMergeClassifier
-
-    rules = generate_classbench("acl1", 1000, seed=1)
-    nm = NuevoMatch.build(rules, remainder_classifier=TupleMergeClassifier)
-    packet = rules[0].sample_packet()
-    match = nm.classify(packet)
 """
 
 from repro.rules import (
@@ -35,6 +47,12 @@ from repro.rules import (
     generate_classbench,
     generate_stanford_backbone,
 )
+from repro.classifiers import (
+    available_classifiers,
+    build_classifier,
+    register,
+    resolve_classifier,
+)
 from repro.core import (
     NuevoMatch,
     NuevoMatchConfig,
@@ -42,8 +60,9 @@ from repro.core import (
     RQRMIConfig,
     partition_isets,
 )
+from repro.engine import ClassificationEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FieldSchema",
@@ -52,6 +71,11 @@ __all__ = [
     "RuleSet",
     "generate_classbench",
     "generate_stanford_backbone",
+    "ClassificationEngine",
+    "available_classifiers",
+    "build_classifier",
+    "register",
+    "resolve_classifier",
     "NuevoMatch",
     "NuevoMatchConfig",
     "RQRMI",

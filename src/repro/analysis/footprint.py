@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.classifiers import CLASSIFIER_REGISTRY, Classifier
+from repro.classifiers import Classifier, resolve_classifier
 from repro.core.config import NuevoMatchConfig
 from repro.core.nuevomatch import NuevoMatch
 from repro.rules.rule import RuleSet
@@ -78,7 +78,7 @@ def compare_footprints(
     cache = cache or CacheHierarchy.xeon_silver_4116()
     reports: list[FootprintReport] = []
     for name in baselines:
-        baseline_cls = CLASSIFIER_REGISTRY[name]
+        baseline_cls = resolve_classifier(name)
         baseline = baseline_cls.build(ruleset)
         reports.append(classifier_footprint(baseline, ruleset.name, cache))
         if with_nuevomatch:

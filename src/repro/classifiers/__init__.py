@@ -1,4 +1,4 @@
-"""Baseline packet classifiers.
+"""Baseline packet classifiers and the classifier registry.
 
 These are the algorithms NuevoMatch is compared against in the paper and the
 candidates for indexing its *remainder set*:
@@ -14,16 +14,32 @@ candidates for indexing its *remainder set*:
   search-optimised tree (``nc``).
 
 All classifiers implement the :class:`~repro.classifiers.base.Classifier`
-interface, including traced lookups used by the performance cost model and
-the ``classify_with_floor`` early-termination hook.
+interface: per-packet and batched traced lookups, the ``classify_with_floor``
+early-termination hook, and the versioned ``to_state``/``from_state``
+persistence protocol.  Each class registers itself with the decorator-based
+registry (:mod:`repro.classifiers.registry`); resolve names with
+:func:`build_classifier` / :func:`resolve_classifier` and enumerate them with
+:func:`available_classifiers`.
 """
 
+import warnings
+
 from repro.classifiers.base import (
+    STATE_FORMAT_VERSION,
     ClassificationResult,
     Classifier,
     LookupTrace,
     MemoryFootprint,
     UpdatableClassifier,
+)
+from repro.classifiers.registry import (
+    UnknownClassifierError,
+    available_classifiers,
+    build_classifier,
+    classifier_aliases,
+    format_available,
+    register,
+    resolve_classifier,
 )
 from repro.classifiers.linear import LinearSearchClassifier
 from repro.classifiers.tuplespace import TupleSpaceSearchClassifier
@@ -32,15 +48,32 @@ from repro.classifiers.hicuts import HiCutsClassifier
 from repro.classifiers.cutsplit import CutSplitClassifier
 from repro.classifiers.neurocuts import NeuroCutsClassifier
 
-#: Registry mapping the paper's short classifier names to classes.
-CLASSIFIER_REGISTRY: dict[str, type[Classifier]] = {
-    "linear": LinearSearchClassifier,
-    "tss": TupleSpaceSearchClassifier,
-    "tm": TupleMergeClassifier,
-    "hicuts": HiCutsClassifier,
-    "cs": CutSplitClassifier,
-    "nc": NeuroCutsClassifier,
-}
+
+class _DeprecatedRegistry(dict):
+    """Read-only shim for the removed static ``CLASSIFIER_REGISTRY`` dict."""
+
+    def __getitem__(self, key):
+        warnings.warn(
+            "CLASSIFIER_REGISTRY is deprecated; use "
+            "repro.classifiers.build_classifier / resolve_classifier instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return super().__getitem__(key)
+
+
+#: Deprecated: mapping of the baseline classifiers' short names to classes.
+#: Use :func:`resolve_classifier` / :func:`available_classifiers` instead.
+CLASSIFIER_REGISTRY: dict[str, type[Classifier]] = _DeprecatedRegistry(
+    {
+        "linear": LinearSearchClassifier,
+        "tss": TupleSpaceSearchClassifier,
+        "tm": TupleMergeClassifier,
+        "hicuts": HiCutsClassifier,
+        "cs": CutSplitClassifier,
+        "nc": NeuroCutsClassifier,
+    }
+)
 
 __all__ = [
     "Classifier",
@@ -48,11 +81,19 @@ __all__ = [
     "ClassificationResult",
     "LookupTrace",
     "MemoryFootprint",
+    "STATE_FORMAT_VERSION",
     "LinearSearchClassifier",
     "TupleSpaceSearchClassifier",
     "TupleMergeClassifier",
     "HiCutsClassifier",
     "CutSplitClassifier",
     "NeuroCutsClassifier",
+    "register",
+    "resolve_classifier",
+    "build_classifier",
+    "available_classifiers",
+    "classifier_aliases",
+    "format_available",
+    "UnknownClassifierError",
     "CLASSIFIER_REGISTRY",
 ]

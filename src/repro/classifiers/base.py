@@ -25,7 +25,28 @@ __all__ = [
     "ClassificationResult",
     "Classifier",
     "UpdatableClassifier",
+    "STATE_FORMAT_VERSION",
+    "check_state_header",
 ]
+
+#: Version of the serializable classifier state produced by ``to_state`` and
+#: consumed by ``from_state``.  Bump when the layout changes incompatibly.
+STATE_FORMAT_VERSION = 1
+
+
+def check_state_header(state: dict, expected_kind: str) -> None:
+    """Validate the version/kind header of a ``to_state`` payload."""
+    version = state.get("format")
+    if version != STATE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported classifier state format {version!r} "
+            f"(this build reads version {STATE_FORMAT_VERSION})"
+        )
+    kind = state.get("kind")
+    if kind != expected_kind:
+        raise ValueError(
+            f"state is for classifier {kind!r}, expected {expected_kind!r}"
+        )
 
 
 @dataclass
@@ -61,6 +82,23 @@ class LookupTrace:
             compute_ops=self.compute_ops + other.compute_ops,
             hash_ops=self.hash_ops + other.hash_ops,
         )
+
+    @classmethod
+    def aggregate(cls, traces: Iterable["LookupTrace"]) -> "LookupTrace":
+        """Element-wise sum over many traces (the cost of a whole batch).
+
+        The simulation layer uses the aggregate to price a batched lookup in
+        one :meth:`~repro.simulation.cost_model.CostModel.lookup_latency` call
+        instead of one call per packet.
+        """
+        total = cls()
+        for trace in traces:
+            total.index_accesses += trace.index_accesses
+            total.rule_accesses += trace.rule_accesses
+            total.model_accesses += trace.model_accesses
+            total.compute_ops += trace.compute_ops
+            total.hash_ops += trace.hash_ops
+        return total
 
     @property
     def total_accesses(self) -> int:
@@ -128,6 +166,9 @@ class Classifier(ABC):
 
     def __init__(self, ruleset: RuleSet):
         self.ruleset = ruleset
+        #: Keyword arguments that reproduce this instance via ``build``;
+        #: recorded by ``build`` and serialized by the default ``to_state``.
+        self.build_params: dict[str, object] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -135,6 +176,29 @@ class Classifier(ABC):
     @abstractmethod
     def build(cls, ruleset: RuleSet, **params) -> "Classifier":
         """Construct the classifier's index structures from ``ruleset``."""
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Serializable (JSON-compatible) state of this classifier.
+
+        The default captures only ``build_params``: every baseline classifier
+        is constructed deterministically from its rule-set and parameters, so
+        ``from_state`` can rebuild an identical structure.  Classifiers with
+        expensive trained state (NuevoMatch's RQ-RMI submodels) override this
+        with a full dump so the training cost is paid once per rule-set.
+        """
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "kind": self.name,
+            "params": dict(self.build_params),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, ruleset: RuleSet) -> "Classifier":
+        """Reconstruct a classifier from :meth:`to_state` output and its rules."""
+        check_state_header(state, cls.name)
+        return cls.build(ruleset, **state.get("params", {}))
 
     # -- lookup ---------------------------------------------------------------
 
@@ -145,6 +209,20 @@ class Classifier(ABC):
     def classify(self, packet: Packet | Sequence[int]) -> Optional[Rule]:
         """Return the highest-priority rule matching ``packet`` (or ``None``)."""
         return self.classify_traced(packet).rule
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        """Classify a batch of packets, one traced result per packet.
+
+        The base implementation loops over :meth:`classify_traced`; classifiers
+        with vectorizable lookups (NuevoMatch's RQ-RMI inference, linear
+        search) override it with genuinely batched numpy paths.  Every override
+        must return exactly the matches the per-packet interface returns.
+        Aggregate the per-packet traces with :meth:`LookupTrace.aggregate` to
+        cost the whole batch.
+        """
+        return [self.classify_traced(packet) for packet in packets]
 
     def classify_with_floor(
         self, packet: Packet | Sequence[int], priority_floor: Optional[int]

@@ -37,6 +37,7 @@ from repro.classifiers.dtree import (
     SplitAction,
     build_tree,
 )
+from repro.classifiers.registry import register
 from repro.rules.rule import Packet, Rule, RuleSet
 
 __all__ = ["CutSplitClassifier"]
@@ -102,6 +103,7 @@ def _cutsplit_policy(cut_dims: list[int], ficuts_rule_threshold: int, num_cuts: 
     return policy
 
 
+@register("cs", aliases=("cutsplit",))
 class CutSplitClassifier(Classifier):
     """CutSplit: pre-partitioned FiCuts + HyperSplit-style trees, binth=8."""
 
@@ -146,7 +148,9 @@ class CutSplitClassifier(Classifier):
 
     @classmethod
     def build(cls, ruleset: RuleSet, binth: int = 8, **params) -> "CutSplitClassifier":
-        return cls(ruleset, binth=binth, **params)
+        classifier = cls(ruleset, binth=binth, **params)
+        classifier.build_params = {"binth": binth, **params}
+        return classifier
 
     # -- lookup --------------------------------------------------------------------
 

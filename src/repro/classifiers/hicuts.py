@@ -26,6 +26,7 @@ from repro.classifiers.dtree import (
     Space,
     build_tree,
 )
+from repro.classifiers.registry import register
 from repro.rules.rule import Packet, Rule, RuleSet
 
 __all__ = ["HiCutsClassifier"]
@@ -66,6 +67,7 @@ def hicuts_policy(space_factor: float = 2.0, max_cuts: int = 16):
     return policy
 
 
+@register("hicuts")
 class HiCutsClassifier(Classifier):
     """Single-tree HiCuts classifier."""
 
@@ -93,7 +95,9 @@ class HiCutsClassifier(Classifier):
 
     @classmethod
     def build(cls, ruleset: RuleSet, binth: int = 8, **params) -> "HiCutsClassifier":
-        return cls(ruleset, binth=binth, **params)
+        classifier = cls(ruleset, binth=binth, **params)
+        classifier.build_params = {"binth": binth, **params}
+        return classifier
 
     def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
         return self._tree.classify_traced(packet)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.classifiers.base import (
     ClassificationResult,
     Classifier,
@@ -17,11 +19,17 @@ from repro.classifiers.base import (
     MemoryFootprint,
     RULE_ENTRY_BYTES,
 )
+from repro.classifiers.registry import register
 from repro.rules.rule import Packet, Rule, RuleSet
 
 __all__ = ["LinearSearchClassifier"]
 
+#: Packets per chunk in the vectorized batch path; bounds the (chunk × rules ×
+#: fields) boolean intermediate to a few MB.
+_BATCH_CHUNK = 512
 
+
+@register("linear", aliases=("linear-search",))
 class LinearSearchClassifier(Classifier):
     """Priority-ordered linear scan over the rule array."""
 
@@ -30,6 +38,14 @@ class LinearSearchClassifier(Classifier):
     def __init__(self, ruleset: RuleSet):
         super().__init__(ruleset)
         self._ordered = sorted(ruleset.rules, key=lambda rule: rule.priority)
+        if self._ordered:
+            ranges = np.array([rule.ranges for rule in self._ordered], dtype=np.int64)
+            self._lo = ranges[:, :, 0]
+            self._hi = ranges[:, :, 1]
+        else:
+            num_fields = len(ruleset.schema)
+            self._lo = np.empty((0, num_fields), dtype=np.int64)
+            self._hi = np.empty((0, num_fields), dtype=np.int64)
 
     @classmethod
     def build(cls, ruleset: RuleSet, **params) -> "LinearSearchClassifier":
@@ -44,6 +60,46 @@ class LinearSearchClassifier(Classifier):
             if rule.matches(values):
                 return ClassificationResult(rule, trace)
         return ClassificationResult(None, trace)
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        """Vectorized scan: one broadcasted range test per packet chunk.
+
+        Returns exactly what the sequential path returns, traces included: the
+        scan conceptually stops at the first (best-priority) matching rule, so
+        ``rule_accesses`` is the 1-based position of that rule (or the full
+        rule count on a miss).
+        """
+        packet_list = list(packets)
+        num_rules = len(self._ordered)
+        num_fields = self._lo.shape[1]
+        results: list[ClassificationResult] = []
+        for start in range(0, len(packet_list), _BATCH_CHUNK):
+            chunk = packet_list[start : start + _BATCH_CHUNK]
+            values = np.array([tuple(p) for p in chunk], dtype=np.int64)
+            if num_rules == 0:
+                results.extend(ClassificationResult(None, LookupTrace()) for _ in chunk)
+                continue
+            matched = np.all(
+                (values[:, None, :] >= self._lo[None, :, :])
+                & (values[:, None, :] <= self._hi[None, :, :]),
+                axis=2,
+            )
+            any_match = matched.any(axis=1)
+            first = np.argmax(matched, axis=1)
+            for row in range(len(chunk)):
+                if any_match[row]:
+                    scanned = int(first[row]) + 1
+                    rule: Optional[Rule] = self._ordered[int(first[row])]
+                else:
+                    scanned = num_rules
+                    rule = None
+                trace = LookupTrace(
+                    rule_accesses=scanned, compute_ops=scanned * num_fields
+                )
+                results.append(ClassificationResult(rule, trace))
+        return results
 
     def classify_with_floor(
         self, packet: Packet | Sequence[int], priority_floor: Optional[int]

@@ -35,6 +35,7 @@ from repro.classifiers.dtree import (
     Space,
     build_tree,
 )
+from repro.classifiers.registry import register
 from repro.rules.rule import Packet, Rule, RuleSet
 
 __all__ = ["NeuroCutsClassifier"]
@@ -96,6 +97,7 @@ def _partition_by_wildcards(ruleset: RuleSet, threshold: float) -> list[list[Rul
     return list(groups.values())
 
 
+@register("nc", aliases=("neurocuts",))
 class NeuroCutsClassifier(Classifier):
     """Search-optimised decision-tree classifier (NeuroCuts stand-in)."""
 
@@ -149,7 +151,9 @@ class NeuroCutsClassifier(Classifier):
 
     @classmethod
     def build(cls, ruleset: RuleSet, binth: int = 8, **params) -> "NeuroCutsClassifier":
-        return cls(ruleset, binth=binth, **params)
+        classifier = cls(ruleset, binth=binth, **params)
+        classifier.build_params = {"binth": binth, **params}
+        return classifier
 
     # -- lookup ---------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.classifiers.base import (
     RULE_ENTRY_BYTES,
     UpdatableClassifier,
 )
+from repro.classifiers.registry import register
 from repro.classifiers.tuplespace import mask_value, rule_tuple
 from repro.rules.rule import Packet, Rule, RuleSet
 
@@ -127,6 +128,7 @@ def _relaxed_lengths(
     return tuple(relaxed)
 
 
+@register("tm", aliases=("tuplemerge",))
 class TupleMergeClassifier(UpdatableClassifier):
     """TupleMerge: merged tuple-space hash tables with a collision limit."""
 
@@ -151,7 +153,9 @@ class TupleMergeClassifier(UpdatableClassifier):
     def build(
         cls, ruleset: RuleSet, collision_limit: int = DEFAULT_COLLISION_LIMIT, **params
     ) -> "TupleMergeClassifier":
-        return cls(ruleset, collision_limit=collision_limit)
+        classifier = cls(ruleset, collision_limit=collision_limit)
+        classifier.build_params = {"collision_limit": collision_limit}
+        return classifier
 
     # -- construction / updates -----------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.classifiers.base import (
     RULE_ENTRY_BYTES,
     UpdatableClassifier,
 )
+from repro.classifiers.registry import register
 from repro.rules.fields import prefix_length_of_range
 from repro.rules.rule import Packet, Rule, RuleSet
 
@@ -112,6 +113,7 @@ class _TupleTable:
         return max((len(bucket) for bucket in self.buckets.values()), default=0)
 
 
+@register("tss", aliases=("tuplespace",))
 class TupleSpaceSearchClassifier(UpdatableClassifier):
     """Classic Tuple Space Search over per-tuple hash tables."""
 

@@ -10,6 +10,14 @@ Commands:
   file and report its structure: footprint, coverage, error bounds.
 * ``compare``  — build NuevoMatch and a baseline over the same rule-set and
   report the modelled latency/throughput speedups on a uniform trace.
+* ``engine``   — the serving API: ``engine save`` builds a
+  :class:`~repro.engine.ClassificationEngine` and persists it, ``engine load``
+  inspects a saved engine, ``engine serve`` runs batched classification over
+  a generated trace.
+
+Classifier choice lists are generated from the registry
+(:func:`repro.classifiers.available_classifiers`), so newly registered
+classifiers appear automatically.
 """
 
 from __future__ import annotations
@@ -18,10 +26,11 @@ import argparse
 import sys
 
 from repro.analysis import format_kv, format_table
-from repro.classifiers import CLASSIFIER_REGISTRY
+from repro.classifiers import available_classifiers, build_classifier
 from repro.core.config import NuevoMatchConfig, RQRMIConfig
 from repro.core.metrics import partition_quality
 from repro.core.nuevomatch import NuevoMatch
+from repro.engine import ClassificationEngine
 from repro.rules import (
     CLASSBENCH_APPLICATIONS,
     generate_classbench,
@@ -29,10 +38,20 @@ from repro.rules import (
     parse_classbench_file,
     write_classbench_file,
 )
-from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
+from repro.simulation import (
+    CostModel,
+    evaluate_classifier,
+    evaluate_nuevomatch,
+    speedup,
+)
 from repro.traffic import generate_uniform_trace
 
 __all__ = ["main", "build_parser"]
+
+
+def _baseline_choices() -> list[str]:
+    """Registry names usable as a stand-alone baseline / remainder index."""
+    return [name for name in available_classifiers() if name != "nm"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,16 +74,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = sub.add_parser("build", help="build a classifier and report its structure")
     build.add_argument("ruleset", help="ClassBench-format rule-set file")
-    build.add_argument("--classifier", default="nm",
-                       choices=["nm"] + sorted(CLASSIFIER_REGISTRY))
-    build.add_argument("--remainder", default="tm", choices=sorted(CLASSIFIER_REGISTRY))
+    build.add_argument("--classifier", default="nm", choices=available_classifiers())
+    build.add_argument("--remainder", default="tm", choices=_baseline_choices())
     build.add_argument("--error-threshold", type=int, default=64)
 
     cmp_ = sub.add_parser("compare", help="compare NuevoMatch against a baseline")
     cmp_.add_argument("ruleset", help="ClassBench-format rule-set file")
-    cmp_.add_argument("--baseline", default="tm", choices=sorted(CLASSIFIER_REGISTRY))
+    cmp_.add_argument("--baseline", default="tm", choices=_baseline_choices())
     cmp_.add_argument("--packets", type=int, default=500)
     cmp_.add_argument("--error-threshold", type=int, default=64)
+
+    engine = sub.add_parser("engine", help="build, persist and serve engines")
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+
+    save = engine_sub.add_parser(
+        "save", help="build a ClassificationEngine and persist it to disk"
+    )
+    save.add_argument("ruleset", help="ClassBench-format rule-set file")
+    save.add_argument("output", help="engine snapshot path (.json or .json.gz)")
+    save.add_argument("--classifier", default="nm", choices=available_classifiers())
+    save.add_argument("--remainder", default="tm", choices=_baseline_choices())
+    save.add_argument("--error-threshold", type=int, default=64)
+
+    load = engine_sub.add_parser(
+        "load", help="load a saved engine and print its structure"
+    )
+    load.add_argument("engine", help="engine snapshot path")
+
+    serve = engine_sub.add_parser(
+        "serve", help="load an engine and run batched classification"
+    )
+    serve.add_argument("engine", help="engine snapshot path")
+    serve.add_argument("--packets", type=int, default=1000)
+    serve.add_argument("--batch-size", type=int, default=128)
+    serve.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -129,7 +172,7 @@ def _nm_config(error_threshold: int) -> NuevoMatchConfig:
     )
 
 
-def _cmd_build(args: argparse.Namespace) -> int:
+def _build_classifier_from_args(args: argparse.Namespace):
     ruleset = parse_classbench_file(args.ruleset)
     if args.classifier == "nm":
         classifier = NuevoMatch.build(
@@ -138,7 +181,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
             config=_nm_config(args.error_threshold),
         )
     else:
-        classifier = CLASSIFIER_REGISTRY[args.classifier].build(ruleset)
+        classifier = build_classifier(args.classifier, ruleset)
+    return ruleset, classifier
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    ruleset, classifier = _build_classifier_from_args(args)
     stats = classifier.statistics()
     printable = {
         key: (round(value, 4) if isinstance(value, float) else value)
@@ -151,11 +199,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     ruleset = parse_classbench_file(args.ruleset)
-    baseline_cls = CLASSIFIER_REGISTRY[args.baseline]
-    baseline = baseline_cls.build(ruleset)
+    baseline = build_classifier(args.baseline, ruleset)
     nm = NuevoMatch.build(
         ruleset,
-        remainder_classifier=baseline_cls,
+        remainder_classifier=type(baseline),
         config=_nm_config(args.error_threshold),
     )
     trace = generate_uniform_trace(ruleset, args.packets, seed=1)
@@ -184,6 +231,68 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_engine_stats(engine: ClassificationEngine, title: str) -> None:
+    stats = engine.statistics()
+    printable = {
+        key: (round(value, 4) if isinstance(value, float) else value)
+        for key, value in stats.items()
+        if not isinstance(value, (dict, list))
+    }
+    print(format_kv(printable, title=title))
+
+
+def _cmd_engine_save(args: argparse.Namespace) -> int:
+    ruleset, classifier = _build_classifier_from_args(args)
+    engine = ClassificationEngine(classifier)
+    engine.save(args.output)
+    _print_engine_stats(
+        engine, f"engine[{engine.classifier_name}] over {ruleset.name}"
+    )
+    print(args.output)
+    return 0
+
+
+def _cmd_engine_load(args: argparse.Namespace) -> int:
+    engine = ClassificationEngine.load(args.engine)
+    _print_engine_stats(
+        engine,
+        f"engine[{engine.classifier_name}] over {engine.ruleset.name} "
+        f"({len(engine.ruleset)} rules)",
+    )
+    return 0
+
+
+def _cmd_engine_serve(args: argparse.Namespace) -> int:
+    engine = ClassificationEngine.load(args.engine)
+    trace = generate_uniform_trace(engine.ruleset, args.packets, seed=args.seed)
+    cost_model = CostModel()
+    matched = 0
+    num_batches = 0
+    total_ns = 0.0
+    # Each BatchReport carries its batch's aggregated LookupTrace; pricing it
+    # directly avoids classifying the trace a second time just for the model.
+    for report in engine.serve(trace, batch_size=args.batch_size):
+        matched += report.matched
+        num_batches += 1
+        total_ns += cost_model.classifier_lookup_latency(
+            engine.classifier, report.trace
+        ).total_ns
+    avg_latency = total_ns / len(trace) if len(trace) else 0.0
+    throughput = 1.0 / (avg_latency * 1e-9) if avg_latency > 0 else 0.0
+    print(format_kv(
+        {
+            "packets": len(trace),
+            "batches": num_batches,
+            "batch size": args.batch_size,
+            "matched": matched,
+            "modelled latency ns/pkt": round(avg_latency, 1),
+            "modelled throughput Mpps": round(throughput / 1e6, 3),
+        },
+        title=f"engine[{engine.classifier_name}] serving {engine.ruleset.name}",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
@@ -191,11 +300,19 @@ _COMMANDS = {
     "compare": _cmd_compare,
 }
 
+_ENGINE_COMMANDS = {
+    "save": _cmd_engine_save,
+    "load": _cmd_engine_load,
+    "serve": _cmd_engine_serve,
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "engine":
+        return _ENGINE_COMMANDS[args.engine_command](args)
     return _COMMANDS[args.command](args)
 
 

@@ -27,12 +27,15 @@ from typing import Optional, Sequence, Type
 import numpy as np
 
 from repro.classifiers.base import (
+    STATE_FORMAT_VERSION,
     ClassificationResult,
     Classifier,
     LookupTrace,
     MemoryFootprint,
     RULE_ENTRY_BYTES,
+    check_state_header,
 )
+from repro.classifiers.registry import register, resolve_classifier
 from repro.core.config import NuevoMatchConfig, RQRMIConfig
 from repro.core.isets import ISet, PartitionResult, partition_isets
 from repro.core.rqrmi import RQRMI, RangeSet
@@ -66,15 +69,20 @@ class ISetIndex:
     value array; the RQ-RMI predicts positions in that array.
     """
 
-    def __init__(self, iset: ISet, schema, rqrmi_config: RQRMIConfig):
+    def __init__(self, iset: ISet, model: RQRMI):
         self.iset = iset
         self.dim = iset.dim
         self.rules = iset.rules  # already sorted by range lower bound
-        domain_size = schema[iset.dim].domain_size
-        range_set = RangeSet.from_integer_ranges(iset.ranges(), domain_size)
-        self.model = RQRMI.train(range_set, rqrmi_config)
+        self.model = model
         priorities = [rule.priority for rule in self.rules]
         self.best_priority = min(priorities) if priorities else None
+
+    @classmethod
+    def train(cls, iset: ISet, schema, rqrmi_config: RQRMIConfig) -> "ISetIndex":
+        """Train an RQ-RMI over the iSet's ranges in its field."""
+        domain_size = schema[iset.dim].domain_size
+        range_set = RangeSet.from_integer_ranges(iset.ranges(), domain_size)
+        return cls(iset, RQRMI.train(range_set, rqrmi_config))
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -110,6 +118,44 @@ class ISetIndex:
             return candidate
         return None
 
+    def lookup_batch(
+        self,
+        values: np.ndarray,
+        traces: list[LookupTrace],
+        breakdowns: list[LookupBreakdown],
+    ) -> list[Optional[Rule]]:
+        """Batched iSet lookup over a ``(packets, fields)`` value matrix.
+
+        The RQ-RMI inference runs vectorized across all packets (the paper's
+        Table-1 vectorization); candidate validation and trace accounting stay
+        per packet and mirror :meth:`lookup` exactly.
+        """
+        keys = values[:, self.dim]
+        indices, _predicted, bounds = self.model.query_batch_detailed(keys)
+        model_accesses = len(self.model.stages)
+        inference_ops = model_accesses * self.model.stages[0][0].hidden_units
+        num_fields = values.shape[1]
+        candidates: list[Optional[Rule]] = []
+        for row in range(values.shape[0]):
+            trace = traces[row]
+            breakdown = breakdowns[row]
+            trace.model_accesses += model_accesses
+            trace.compute_ops += inference_ops
+            breakdown.inference_ops += inference_ops
+            window = 2 * int(bounds[row]) + 1
+            search_lines = max(1, math.ceil(math.log2(window / 16 + 1)))
+            trace.index_accesses += search_lines
+            breakdown.search_accesses += search_lines
+            if indices[row] < 0:
+                candidates.append(None)
+                continue
+            candidate = self.rules[int(indices[row])]
+            trace.rule_accesses += 1
+            trace.compute_ops += num_fields
+            breakdown.validation_accesses += 1
+            candidates.append(candidate if candidate.matches(values[row]) else None)
+        return candidates
+
     def value_array_bytes(self) -> int:
         """Size of the packed per-field value array used by the secondary search."""
         return 4 * len(self.rules)
@@ -122,7 +168,27 @@ class ISetIndex:
         stats.update(dim=self.dim, num_rules=len(self.rules), coverage=self.coverage)
         return stats
 
+    def to_state(self) -> dict:
+        """Trained iSet state: field, ordered member rules, model weights."""
+        return {
+            "dim": self.dim,
+            "rule_ids": [rule.rule_id for rule in self.rules],
+            "model": self.model.to_state(),
+        }
 
+    @classmethod
+    def from_state(
+        cls, state: dict, rules_by_id: dict[int, Rule], total_rules: int
+    ) -> "ISetIndex":
+        iset = ISet(
+            dim=int(state["dim"]),
+            rules=[rules_by_id[int(rule_id)] for rule_id in state["rule_ids"]],
+            total_rules=total_rules,
+        )
+        return cls(iset, RQRMI.from_state(state["model"]))
+
+
+@register("nm", aliases=("nuevomatch",))
 class NuevoMatch(Classifier):
     """The NuevoMatch classifier: RQ-RMI-indexed iSets plus a remainder."""
 
@@ -158,28 +224,23 @@ class NuevoMatch(Classifier):
 
         Args:
             ruleset: Input rules.
-            remainder_classifier: Classifier class (or registry name: ``"cs"``,
-                ``"nc"``, ``"tm"``, ``"tss"``, ``"linear"``) indexing the
-                remainder set.  The paper pairs NuevoMatch with the same
-                algorithm it is compared against.
+            remainder_classifier: Classifier class, or any name/alias accepted
+                by :func:`repro.classifiers.resolve_classifier` (``"tm"``,
+                ``"cutsplit"``, …), indexing the remainder set.  The paper
+                pairs NuevoMatch with the same algorithm it is compared
+                against.
             config: NuevoMatch configuration; defaults follow the paper
                 (error threshold 64, iSet coverage cut-off 25%).
             **remainder_params: Extra arguments passed to the remainder
                 classifier's ``build`` (e.g. ``binth``).
         """
-        from repro.classifiers import CLASSIFIER_REGISTRY
-
         config = config or NuevoMatchConfig()
         if isinstance(remainder_classifier, str):
-            try:
-                remainder_cls = CLASSIFIER_REGISTRY[remainder_classifier]
-            except KeyError as exc:
-                raise ValueError(
-                    f"unknown remainder classifier {remainder_classifier!r}; "
-                    f"expected one of {sorted(CLASSIFIER_REGISTRY)}"
-                ) from exc
+            remainder_cls = resolve_classifier(remainder_classifier)
         else:
             remainder_cls = remainder_classifier
+        if remainder_cls is cls:
+            raise ValueError("NuevoMatch cannot index its own remainder set")
 
         start = time.perf_counter()
         partition = partition_isets(
@@ -188,7 +249,8 @@ class NuevoMatch(Classifier):
             min_coverage=config.min_iset_coverage,
         )
         isets = [
-            ISetIndex(iset, ruleset.schema, config.rqrmi) for iset in partition.isets
+            ISetIndex.train(iset, ruleset.schema, config.rqrmi)
+            for iset in partition.isets
         ]
         params = dict(config.remainder_params)
         params.update(remainder_params)
@@ -227,6 +289,50 @@ class NuevoMatch(Classifier):
         ):
             best = remainder_result.rule
         return ClassificationResult(best, trace), breakdown
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        """Batched lookup: vectorized RQ-RMI inference across all packets.
+
+        The per-iSet neural inference — the dominant per-packet cost the paper
+        vectorizes in Table 1 — runs as one numpy batch per iSet; candidate
+        validation and the remainder query (with the same early-termination
+        floor as the sequential path) remain per packet, so the returned
+        matches are identical to per-packet :meth:`classify`.
+        """
+        packet_list = list(packets)
+        if not packet_list:
+            return []
+        values = np.array([tuple(packet) for packet in packet_list], dtype=np.int64)
+        traces = [LookupTrace() for _ in packet_list]
+        breakdowns = [LookupBreakdown() for _ in packet_list]
+        best: list[Rule | None] = [None] * len(packet_list)
+        for iset in self.isets:
+            candidates = iset.lookup_batch(values, traces, breakdowns)
+            for row, candidate in enumerate(candidates):
+                if candidate is not None and (
+                    best[row] is None or candidate.priority < best[row].priority
+                ):
+                    best[row] = candidate
+
+        results: list[ClassificationResult] = []
+        for row in range(len(packet_list)):
+            winner = best[row]
+            floor = (
+                winner.priority
+                if (winner is not None and self.config.early_termination)
+                else None
+            )
+            packet_values = tuple(int(v) for v in values[row])
+            remainder_result = self.remainder.classify_with_floor(packet_values, floor)
+            trace = traces[row].merge(remainder_result.trace)
+            if remainder_result.rule is not None and (
+                winner is None or remainder_result.rule.priority < winner.priority
+            ):
+                winner = remainder_result.rule
+            results.append(ClassificationResult(winner, trace))
+        return results
 
     def classify_isets_only(
         self, packet: Packet | Sequence[int]
@@ -292,3 +398,60 @@ class NuevoMatch(Classifier):
             ),
         )
         return stats
+
+    # -------------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Full trained state: RQ-RMI submodels, iSet partition, remainder.
+
+        Unlike the baselines' rebuild-from-parameters default, NuevoMatch
+        serializes its trained submodel weights and the exact partition so
+        :meth:`from_state` restores a bitwise-identical classifier without
+        retraining.
+        """
+        from dataclasses import asdict
+
+        config_state = asdict(self.config)
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "kind": self.name,
+            "config": config_state,
+            "build_seconds": self.build_seconds,
+            "isets": [iset.to_state() for iset in self.isets],
+            "remainder_rule_ids": [rule.rule_id for rule in self.partition.remainder],
+            "remainder": self.remainder.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, ruleset: RuleSet) -> "NuevoMatch":
+        check_state_header(state, cls.name)
+        config_state = dict(state["config"])
+        config_state["rqrmi"] = RQRMIConfig(**config_state["rqrmi"])
+        config = NuevoMatchConfig(**config_state)
+        rules_by_id = ruleset.by_id()
+        isets = [
+            ISetIndex.from_state(iset_state, rules_by_id, len(ruleset))
+            for iset_state in state["isets"]
+        ]
+        remainder_rules = [
+            rules_by_id[int(rule_id)] for rule_id in state["remainder_rule_ids"]
+        ]
+        partition = PartitionResult(
+            isets=[index.iset for index in isets],
+            remainder=remainder_rules,
+            total_rules=len(ruleset),
+        )
+        remainder_state = state["remainder"]
+        remainder_cls = resolve_classifier(remainder_state["kind"])
+        remainder_ruleset = ruleset.subset(
+            remainder_rules, name=f"{ruleset.name}-remainder"
+        )
+        remainder = remainder_cls.from_state(remainder_state, remainder_ruleset)
+        return cls(
+            ruleset,
+            isets,
+            remainder,
+            partition,
+            config,
+            build_seconds=float(state.get("build_seconds", 0.0)),
+        )

@@ -81,6 +81,22 @@ class RangeSet:
             return position
         return None
 
+    def to_state(self) -> dict:
+        """JSON-compatible dump (floats round-trip exactly through repr)."""
+        return {
+            "lo": self.lo.tolist(),
+            "hi": self.hi.tolist(),
+            "domain_size": self.domain_size,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RangeSet":
+        return cls(
+            lo=np.asarray(state["lo"], dtype=np.float64),
+            hi=np.asarray(state["hi"], dtype=np.float64),
+            domain_size=int(state["domain_size"]),
+        )
+
 
 @dataclass
 class RQRMILookup:
@@ -413,12 +429,8 @@ class RQRMI:
             model_accesses=len(self.stages),
         )
 
-    def query_batch(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorised range queries; returns -1 where no range matches."""
-        num_ranges = len(self.ranges)
-        if num_ranges == 0 or len(keys) == 0:
-            return np.full(len(keys), -1, dtype=np.int64)
-        xs = np.asarray(keys, dtype=np.float64) / self.ranges.domain_size
+    def _route_batch(self, xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized stage traversal: (leaf slots, leaf outputs) for ``xs``."""
         slots = np.zeros(len(xs), dtype=np.int64)
         outputs = np.zeros(len(xs), dtype=np.float64)
         widths = self.stage_widths
@@ -433,11 +445,54 @@ class RQRMI:
                 slots = np.minimum(
                     (outputs * next_width).astype(np.int64), next_width - 1
                 )
+        return slots, outputs
+
+    def query_batch_detailed(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized equivalent of per-key :meth:`query` over many keys.
+
+        The inference (the dominant cost, Table 1) runs batched across all
+        keys; the bounded secondary search is evaluated with the same windowed
+        semantics as the scalar path, so the returned indices are exactly what
+        per-key ``query`` calls would produce.
+
+        Returns:
+            ``(indices, predicted, bounds)`` arrays — the matched range index
+            (-1 where no range contains the key), the predicted index, and the
+            applicable per-leaf error bound.
+        """
+        num_keys = len(keys)
+        num_ranges = len(self.ranges)
+        if num_ranges == 0 or num_keys == 0:
+            empty = np.full(num_keys, -1, dtype=np.int64)
+            zeros = np.zeros(num_keys, dtype=np.int64)
+            return empty, zeros.copy(), zeros
+        xs = np.asarray(keys, dtype=np.float64) / self.ranges.domain_size
+        slots, outputs = self._route_batch(xs)
+        predicted = np.minimum(
+            (outputs * num_ranges).astype(np.int64), num_ranges - 1
+        )
+        if self.error_bounds:
+            bounds = np.asarray(self.error_bounds, dtype=np.int64)[slots]
+        else:
+            bounds = np.zeros(num_keys, dtype=np.int64)
+        window_lo = np.maximum(predicted - bounds, 0)
+        window_hi = np.minimum(predicted + bounds, num_ranges - 1)
+        # Windowed binary search, vectorized: the position the scalar path's
+        # searchsorted over ranges.lo[window] finds equals the global position
+        # clipped to the window top, valid only when it reaches the window.
         positions = np.searchsorted(self.ranges.lo, xs, side="right") - 1
-        positions = np.clip(positions, 0, num_ranges - 1)
-        inside = (xs >= self.ranges.lo[positions]) & (xs <= self.ranges.hi[positions])
-        result = np.where(inside, positions, -1)
-        return result.astype(np.int64)
+        candidates = np.minimum(positions, window_hi)
+        in_window = positions >= window_lo
+        safe = np.clip(candidates, 0, num_ranges - 1)
+        inside = (self.ranges.lo[safe] <= xs) & (xs <= self.ranges.hi[safe])
+        indices = np.where(in_window & inside, candidates, -1).astype(np.int64)
+        return indices, predicted, bounds
+
+    def query_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised range queries; returns -1 where no range matches."""
+        return self.query_batch_detailed(keys)[0]
 
     # --------------------------------------------------------------------- sizing
 
@@ -462,3 +517,36 @@ class RQRMI:
             "retrain_attempts": self.report.retrain_attempts,
             "converged": self.report.converged,
         }
+
+    # ------------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """Full trained state: submodel weights, ranges, bounds, report.
+
+        Restoring with :meth:`from_state` skips training entirely, which is
+        the point of engine persistence — the Figure-15 training cost is paid
+        once per rule-set.
+        """
+        from dataclasses import asdict
+
+        return {
+            "stages": [
+                [submodel.to_dict() for submodel in stage] for stage in self.stages
+            ],
+            "ranges": self.ranges.to_state(),
+            "error_bounds": list(self.error_bounds),
+            "report": asdict(self.report),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RQRMI":
+        stages = [
+            [Submodel.from_dict(data) for data in stage] for stage in state["stages"]
+        ]
+        report = TrainingReport(**state["report"])
+        return cls(
+            stages=stages,
+            ranges=RangeSet.from_state(state["ranges"]),
+            error_bounds=[int(b) for b in state["error_bounds"]],
+            report=report,
+        )

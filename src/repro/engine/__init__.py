@@ -1,0 +1,34 @@
+"""Serving layer: the :class:`ClassificationEngine` facade.
+
+This package is the canonical entry point for using the library as a
+classification *service* rather than a bag of algorithms::
+
+    from repro.engine import ClassificationEngine
+
+    engine = ClassificationEngine.build(ruleset, classifier="nm")
+    results = engine.classify_batch(packets)       # batch-first serving
+    engine.save("acl1.engine.json.gz")             # training paid once
+    restored = ClassificationEngine.load("acl1.engine.json.gz")
+
+See :mod:`repro.engine.engine` for the facade and
+:mod:`repro.engine.serialization` for the on-disk format.
+"""
+
+from repro.engine.engine import BatchReport, ClassificationEngine
+from repro.engine.serialization import (
+    ENGINE_FILE_VERSION,
+    read_engine_file,
+    ruleset_from_state,
+    ruleset_to_state,
+    write_engine_file,
+)
+
+__all__ = [
+    "ClassificationEngine",
+    "BatchReport",
+    "ENGINE_FILE_VERSION",
+    "ruleset_to_state",
+    "ruleset_from_state",
+    "write_engine_file",
+    "read_engine_file",
+]

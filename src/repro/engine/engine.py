@@ -1,0 +1,241 @@
+"""The :class:`ClassificationEngine` serving facade.
+
+The engine owns the build → serve → update → persist lifecycle for any
+registered classifier:
+
+* **build** — ``ClassificationEngine.build(ruleset, classifier="nm", ...)``
+  resolves the classifier through the registry and constructs it.
+* **serve** — batch-first lookups: :meth:`classify_batch` is the primary
+  interface (the paper's throughput comes from batched, vectorized RQ-RMI
+  inference); :meth:`classify` / :meth:`classify_traced` remain for
+  single-packet use.
+* **update** — :meth:`insert` / :meth:`remove` delegate to classifiers that
+  implement :class:`~repro.classifiers.base.UpdatableClassifier`.
+* **persist** — :meth:`save` / :meth:`load` round-trip the trained structures
+  (RQ-RMI submodels, iSet partitions, remainder state) through the versioned
+  ``to_state``/``from_state`` protocol, so training cost is paid once per
+  rule-set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    Classifier,
+    LookupTrace,
+    MemoryFootprint,
+    UpdatableClassifier,
+)
+from repro.classifiers.registry import resolve_classifier
+from repro.engine.serialization import (
+    ENGINE_FILE_VERSION,
+    read_engine_file,
+    ruleset_from_state,
+    ruleset_to_state,
+    write_engine_file,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+
+__all__ = ["ClassificationEngine", "BatchReport"]
+
+
+class BatchReport:
+    """Outcome of one served batch: per-packet results + aggregate trace."""
+
+    def __init__(self, results: list[ClassificationResult]):
+        self.results = results
+        self.trace = LookupTrace.aggregate(result.trace for result in results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def matched(self) -> int:
+        """Number of packets that matched some rule."""
+        return sum(1 for result in self.results if result.matched)
+
+
+class ClassificationEngine:
+    """Facade over a built classifier: batch serving, updates, persistence."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        metadata: dict | None = None,
+    ):
+        self.classifier = classifier
+        self.metadata = dict(metadata or {})
+        # Online updates applied through the engine, so save() can persist the
+        # *effective* rule-set (the classifier's own ruleset is the build-time
+        # snapshot and does not see insert/remove).
+        self._inserted: dict[int, Rule] = {}
+        self._removed: set[int] = set()
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        ruleset: RuleSet,
+        classifier: str | type[Classifier] = "nm",
+        metadata: dict | None = None,
+        **params,
+    ) -> "ClassificationEngine":
+        """Build an engine over ``ruleset``.
+
+        Args:
+            ruleset: Input rules.
+            classifier: Registry name/alias (``"nm"``, ``"tuplemerge"``, …) or
+                a :class:`Classifier` subclass.
+            metadata: Free-form annotations persisted with :meth:`save`.
+            **params: Forwarded to the classifier's ``build`` (e.g. ``config``
+                for NuevoMatch, ``binth`` for the tree baselines).
+        """
+        classifier_cls = (
+            resolve_classifier(classifier) if isinstance(classifier, str) else classifier
+        )
+        return cls(classifier_cls.build(ruleset, **params), metadata=metadata)
+
+    # ------------------------------------------------------------------ serve
+
+    @property
+    def ruleset(self) -> RuleSet:
+        return self.classifier.ruleset
+
+    @property
+    def classifier_name(self) -> str:
+        return self.classifier.name
+
+    def classify(self, packet: Packet | Sequence[int]) -> Optional[Rule]:
+        """Single-packet lookup (thin wrapper; prefer :meth:`classify_batch`)."""
+        return self.classifier.classify(packet)
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self.classifier.classify_traced(packet)
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        """Classify a batch of packets (vectorized where the classifier allows)."""
+        return self.classifier.classify_batch(packets)
+
+    def serve(
+        self, packets: Iterable[Packet | Sequence[int]], batch_size: int = 128
+    ) -> Iterable[BatchReport]:
+        """Serve a packet stream in fixed-size batches, yielding batch reports."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+
+        def _batches() -> Iterable[BatchReport]:
+            batch: list[Packet | Sequence[int]] = []
+            for packet in packets:
+                batch.append(packet)
+                if len(batch) >= batch_size:
+                    yield BatchReport(self.classify_batch(batch))
+                    batch = []
+            if batch:
+                yield BatchReport(self.classify_batch(batch))
+
+        return _batches()
+
+    def verify(self, packets: Iterable[Packet]) -> int:
+        """Check the engine against linear search; see :meth:`Classifier.verify`."""
+        return self.classifier.verify(packets)
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, rule: Rule) -> None:
+        """Insert a rule online (classifiers supporting updates only)."""
+        self._updatable().insert(rule)
+        self._removed.discard(rule.rule_id)
+        self._inserted[rule.rule_id] = rule
+
+    def remove(self, rule_id: int) -> bool:
+        """Remove a rule online; returns True if it was present."""
+        removed = self._updatable().remove(rule_id)
+        if removed:
+            if rule_id in self._inserted:
+                del self._inserted[rule_id]
+            else:
+                self._removed.add(rule_id)
+        return removed
+
+    def _effective_ruleset(self) -> RuleSet:
+        """The build-time rule-set with the engine's online updates applied."""
+        if not self._inserted and not self._removed:
+            return self.ruleset
+        rules = [
+            rule
+            for rule in self.ruleset
+            if rule.rule_id not in self._removed and rule.rule_id not in self._inserted
+        ]
+        rules.extend(self._inserted.values())
+        return self.ruleset.subset(rules)
+
+    def _updatable(self) -> UpdatableClassifier:
+        if not isinstance(self.classifier, UpdatableClassifier):
+            raise TypeError(
+                f"classifier {self.classifier_name!r} does not support online "
+                "updates; wrap NuevoMatch in repro.core.UpdatableNuevoMatch or "
+                "use an updatable remainder classifier (tss, tm)"
+            )
+        return self.classifier
+
+    # ----------------------------------------------------------- introspection
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return self.classifier.memory_footprint()
+
+    def statistics(self) -> dict[str, object]:
+        stats = self.classifier.statistics()
+        stats["engine_metadata"] = dict(self.metadata)
+        return stats
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> None:
+        """Persist the engine — rules plus trained classifier state — to disk.
+
+        The snapshot restores with :meth:`load` to an engine whose
+        ``classify_batch`` output is bitwise-identical to this one's, without
+        repeating RQ-RMI training.  An engine that received online
+        :meth:`insert`/:meth:`remove` updates is persisted with its *updated*
+        rule-set and restored by rebuilding over it: the restored matches
+        include every update, though the rebuilt structure's lookup traces may
+        differ from the incrementally-updated original's.  Paths ending in
+        ``.gz`` are compressed.
+        """
+        from repro import __version__
+
+        write_engine_file(
+            path,
+            {
+                "format": ENGINE_FILE_VERSION,
+                "repro_version": __version__,
+                "classifier_kind": self.classifier_name,
+                "ruleset": ruleset_to_state(self._effective_ruleset()),
+                "classifier": self.classifier.to_state(),
+                "metadata": self.metadata,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ClassificationEngine":
+        """Restore an engine saved with :meth:`save`."""
+        document = read_engine_file(path)
+        ruleset = ruleset_from_state(document["ruleset"])
+        classifier_cls = resolve_classifier(document["classifier_kind"])
+        classifier = classifier_cls.from_state(document["classifier"], ruleset)
+        return cls(classifier, metadata=document.get("metadata"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClassificationEngine({self.classifier_name!r}, "
+            f"{len(self.ruleset)} rules)"
+        )

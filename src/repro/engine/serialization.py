@@ -1,0 +1,107 @@
+"""Serialization of rule-sets and engine snapshots.
+
+The engine file format is a single JSON document (gzip-compressed when the
+path ends in ``.gz``)::
+
+    {
+      "format": 1,                 # engine file format version
+      "repro_version": "1.1.0",    # library that wrote the file
+      "classifier_kind": "nm",     # registry name of the classifier
+      "ruleset": {...},            # schema + rules, exact integer ranges
+      "classifier": {...},         # the classifier's to_state() payload
+      "metadata": {...}            # free-form caller annotations
+    }
+
+Rules are stored with their exact ranges, priority, action and ``rule_id``,
+so a restored classifier sees the same rule objects (by value) in the same
+order — a requirement for bitwise-identical lookups after a round-trip.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.rules.fields import FieldSchema, FieldSpec
+from repro.rules.rule import Rule, RuleSet
+
+__all__ = [
+    "ENGINE_FILE_VERSION",
+    "ruleset_to_state",
+    "ruleset_from_state",
+    "write_engine_file",
+    "read_engine_file",
+]
+
+#: Version of the on-disk engine file layout.
+ENGINE_FILE_VERSION = 1
+
+
+def ruleset_to_state(ruleset: RuleSet) -> dict:
+    """JSON-compatible dump of a rule-set: schema plus exact rules."""
+    return {
+        "name": ruleset.name,
+        "schema": [
+            {"name": spec.name, "bits": spec.bits, "kind": spec.kind}
+            for spec in ruleset.schema
+        ],
+        "rules": [
+            [
+                [[int(lo), int(hi)] for lo, hi in rule.ranges],
+                rule.priority,
+                rule.action,
+                rule.rule_id,
+            ]
+            for rule in ruleset
+        ],
+    }
+
+
+def ruleset_from_state(state: dict) -> RuleSet:
+    """Inverse of :func:`ruleset_to_state`."""
+    schema = FieldSchema(
+        [
+            FieldSpec(spec["name"], int(spec["bits"]), spec.get("kind", "int"))
+            for spec in state["schema"]
+        ]
+    )
+    rules = [
+        Rule(
+            ranges=tuple((int(lo), int(hi)) for lo, hi in ranges),
+            priority=int(priority),
+            action=action,
+            rule_id=int(rule_id),
+        )
+        for ranges, priority, action, rule_id in state["rules"]
+    ]
+    return RuleSet(rules, schema, name=state.get("name", "ruleset"))
+
+
+def write_engine_file(path: str | Path, document: dict) -> None:
+    """Write an engine snapshot document as (optionally gzipped) JSON."""
+    path = Path(path)
+    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    if path.suffix == ".gz":
+        with gzip.open(path, "wb") as handle:
+            handle.write(payload)
+    else:
+        path.write_bytes(payload)
+
+
+def read_engine_file(path: str | Path) -> dict:
+    """Read an engine snapshot document written by :func:`write_engine_file`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rb") as handle:
+            payload = handle.read()
+    else:
+        payload = path.read_bytes()
+    document = json.loads(payload.decode("utf-8"))
+    version = document.get("format")
+    if version != ENGINE_FILE_VERSION:
+        raise ValueError(
+            f"unsupported engine file format {version!r} "
+            f"(this build reads version {ENGINE_FILE_VERSION})"
+        )
+    return document

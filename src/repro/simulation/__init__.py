@@ -5,6 +5,7 @@ from repro.simulation.cost_model import CostModel, LatencyBreakdown
 from repro.simulation.perf import (
     PerfReport,
     evaluate_classifier,
+    evaluate_classifier_batched,
     evaluate_nuevomatch,
     speedup,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "LatencyBreakdown",
     "PerfReport",
     "evaluate_classifier",
+    "evaluate_classifier_batched",
     "evaluate_nuevomatch",
     "speedup",
     "SUBMODEL_SCALAR_OPS",

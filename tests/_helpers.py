@@ -1,0 +1,24 @@
+"""Shared non-fixture helpers for the test suite.
+
+Lives in its own module (not ``conftest.py``) so test files can import it
+explicitly: ``from _helpers import fast_nm_config``.  Importing helpers from
+``conftest`` is fragile — when pytest collects both ``tests/`` and
+``benchmarks/``, the name ``conftest`` resolves to whichever directory's
+conftest was imported first.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NuevoMatchConfig, RQRMIConfig
+
+#: Fast RQ-RMI settings used across tests (fewer Adam epochs, small widths).
+FAST_RQRMI = RQRMIConfig(adam_epochs=80, initial_samples=256)
+
+
+def fast_nm_config(max_isets: int = 4, min_coverage: float = 0.05) -> NuevoMatchConfig:
+    """A NuevoMatch configuration that trains in seconds on small rule-sets."""
+    return NuevoMatchConfig(
+        max_isets=max_isets,
+        min_iset_coverage=min_coverage,
+        rqrmi=FAST_RQRMI,
+    )

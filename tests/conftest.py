@@ -10,21 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import NuevoMatchConfig, RQRMIConfig
 from repro.core.nuevomatch import NuevoMatch
 from repro.rules import generate_classbench, generate_stanford_backbone
 
-
-#: Fast RQ-RMI settings used across tests (fewer Adam epochs, small widths).
-FAST_RQRMI = RQRMIConfig(adam_epochs=80, initial_samples=256)
-
-
-def fast_nm_config(max_isets: int = 4, min_coverage: float = 0.05) -> NuevoMatchConfig:
-    return NuevoMatchConfig(
-        max_isets=max_isets,
-        min_iset_coverage=min_coverage,
-        rqrmi=RQRMIConfig(adam_epochs=80, initial_samples=256),
-    )
+from _helpers import fast_nm_config
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,7 @@ from repro.analysis import (
     geometric_mean,
 )
 from repro.classifiers import TupleMergeClassifier
-from conftest import fast_nm_config
+from _helpers import fast_nm_config
 
 
 class TestReporting:

@@ -15,6 +15,11 @@ from repro.classifiers import (
     NeuroCutsClassifier,
     TupleMergeClassifier,
     TupleSpaceSearchClassifier,
+    UnknownClassifierError,
+    available_classifiers,
+    build_classifier,
+    classifier_aliases,
+    resolve_classifier,
 )
 
 ALL_CLASSIFIERS = [
@@ -34,11 +39,31 @@ def built_classifier(request, acl_small):
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(CLASSIFIER_REGISTRY) == {"linear", "tss", "tm", "hicuts", "cs", "nc"}
+        assert {"linear", "tss", "tm", "hicuts", "cs", "nc", "nm"} <= set(
+            available_classifiers()
+        )
 
     def test_registry_classes_match_names(self):
-        for name, cls in CLASSIFIER_REGISTRY.items():
-            assert cls.name == name
+        for name in available_classifiers():
+            assert resolve_classifier(name).name == name
+
+    def test_aliases_resolve_to_same_class(self):
+        for name, aliases in classifier_aliases().items():
+            for alias in aliases:
+                assert resolve_classifier(alias) is resolve_classifier(name)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(UnknownClassifierError, match="tm \\(aka tuplemerge\\)"):
+            resolve_classifier("bogus")
+
+    def test_build_classifier_forwards_params(self, acl_small):
+        clf = build_classifier("tuplemerge", acl_small, collision_limit=10)
+        assert clf.name == "tm"
+        assert clf.collision_limit == 10
+
+    def test_deprecated_static_registry_warns(self):
+        with pytest.warns(DeprecationWarning):
+            assert CLASSIFIER_REGISTRY["tm"] is TupleMergeClassifier
 
 
 class TestAgainstOracle:

@@ -5,7 +5,7 @@ import pytest
 from repro.classifiers import CutSplitClassifier, TupleMergeClassifier
 from repro.core.config import NuevoMatchConfig, RQRMIConfig
 from repro.core.nuevomatch import NuevoMatch
-from conftest import fast_nm_config
+from _helpers import fast_nm_config
 
 
 class TestBuild:

@@ -9,6 +9,7 @@ from repro.simulation import (
     CacheHierarchy,
     CostModel,
     evaluate_classifier,
+    evaluate_classifier_batched,
     evaluate_nuevomatch,
     inference_time_ns,
     measure_inference_ns,
@@ -16,7 +17,7 @@ from repro.simulation import (
     table1_model,
 )
 from repro.traffic import generate_uniform_trace, generate_zipf_trace
-from conftest import fast_nm_config
+from _helpers import fast_nm_config
 
 
 class TestCacheHierarchy:
@@ -122,6 +123,25 @@ class TestPerfHarness:
         assert report.avg_latency_ns > 0
         assert report.throughput_pps > 0
         assert report.as_row()["classifier"] == "tm"
+
+    def test_batched_report_matches_per_packet_costs(self, acl_medium):
+        # The per-batch latency of an aggregated trace equals the sum of the
+        # per-packet latencies (the cost model is linear in the trace counts),
+        # so batch-mode and per-packet evaluation agree on the average.
+        tm = TupleMergeClassifier.build(acl_medium)
+        trace = generate_uniform_trace(acl_medium, 60, seed=4)
+        per_packet = evaluate_classifier(tm, trace, CostModel())
+        batched = evaluate_classifier_batched(tm, trace, CostModel(), batch_size=16)
+        assert batched.packets == 60
+        assert batched.extra["num_batches"] == 4
+        assert batched.avg_latency_ns == pytest.approx(
+            per_packet.avg_latency_ns, rel=1e-9
+        )
+
+    def test_batched_rejects_bad_batch_size(self, acl_medium):
+        tm = TupleMergeClassifier.build(acl_medium)
+        with pytest.raises(ValueError):
+            evaluate_classifier_batched(tm, [], batch_size=0)
 
     def test_two_cores_double_throughput(self, acl_medium):
         tm = TupleMergeClassifier.build(acl_medium)

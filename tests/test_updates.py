@@ -13,7 +13,7 @@ from repro.core.updates import (
     throughput_with_updates,
 )
 from repro.rules.rule import Rule
-from conftest import fast_nm_config
+from _helpers import fast_nm_config
 
 
 @pytest.fixture()
