@@ -21,6 +21,7 @@ numbers can be copied into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from pathlib import Path
@@ -182,3 +183,24 @@ def report(experiment: str, text: str) -> None:
     path = RESULTS_DIR / f"{experiment}.txt"
     with path.open("w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def shard_counts_for(num_rules: int, maximum: int = 8) -> list[int]:
+    """Power-of-two shard counts (1, 2, 4, …) valid for ``num_rules``."""
+    counts = []
+    shards = 1
+    while shards <= maximum and shards <= num_rules:
+        counts.append(shards)
+        shards *= 2
+    return counts
+
+
+def report_json(experiment: str, payload: dict) -> None:
+    """Emit a machine-readable result: a ``BENCH <json>`` line on stdout plus
+    ``benchmarks/results/<experiment>.json`` for downstream tooling."""
+    print(f"\nBENCH {json.dumps(payload, sort_keys=True)}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

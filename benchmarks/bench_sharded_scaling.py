@@ -1,0 +1,111 @@
+"""Sharded serving — throughput vs. shard count.
+
+The paper scales NuevoMatch by splitting rule-sets across iSets and cores
+(§5); this benchmark turns the same knob in the serving layer.  One rule-set
+is served through :class:`~repro.serving.ShardedEngine` at increasing shard
+counts and two throughput series are recorded:
+
+* **modelled** — :func:`repro.simulation.evaluate_sharded` prices each
+  shard's aggregated lookup trace against its (smaller) structures and takes
+  the slowest shard per batch: the shards-as-cores model.
+* **measured** — wall-clock ``classify_batch`` throughput through the thread
+  pool, the end-to-end number an operator sees.
+
+Results land in the BENCH json format (``benchmarks/results/
+sharded_scaling.json`` plus a ``BENCH {...}`` stdout line).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving import ShardedEngine
+from repro.simulation import evaluate_sharded
+from repro.traffic import generate_uniform_trace
+
+from bench_helpers import (
+    bench_cost_model,
+    current_scale,
+    report,
+    report_json,
+    ruleset,
+    shard_counts_for,
+)
+from repro.analysis import format_table
+
+#: Shards are served by one classifier kind; TupleMerge keeps per-shard build
+#: time negligible so the sweep measures serving, not construction.
+CLASSIFIER = "tm"
+
+
+def _measure_wall_pps(sharded, packets, batch_size: int) -> float:
+    start = time.perf_counter()
+    for chunk_start in range(0, len(packets), batch_size):
+        sharded.classify_batch(packets[chunk_start : chunk_start + batch_size])
+    elapsed = time.perf_counter() - start
+    return len(packets) / elapsed if elapsed > 0 else 0.0
+
+
+def test_sharded_scaling():
+    scale = current_scale()
+    application = scale["applications"][0]
+    size = scale["sizes"]["100K"]
+    rules = ruleset(application, size)
+    trace = list(generate_uniform_trace(rules, scale["trace_packets"], seed=41))
+    cost_model = bench_cost_model()
+    shard_counts = shard_counts_for(size)
+
+    rows = []
+    series = []
+    modelled_pps = []
+    for shards in shard_counts:
+        engine = ShardedEngine.build(
+            rules, shards=shards, classifier=CLASSIFIER, executor="thread"
+        )
+        with engine:
+            modelled = evaluate_sharded(engine, trace, cost_model, batch_size=128)
+            measured = _measure_wall_pps(engine, trace, batch_size=128)
+            modelled_pps.append(modelled.throughput_pps)
+            series.append(
+                {
+                    "shards": shards,
+                    "shard_sizes": engine.shard_sizes(),
+                    "modelled_throughput_pps": round(modelled.throughput_pps, 1),
+                    "modelled_latency_ns": round(modelled.avg_latency_ns, 2),
+                    "measured_throughput_pps": round(measured, 1),
+                }
+            )
+            rows.append(
+                [
+                    shards,
+                    "/".join(str(s) for s in engine.shard_sizes()),
+                    round(modelled.avg_latency_ns, 1),
+                    round(modelled.throughput_pps / 1e6, 3),
+                    round(measured / 1e3, 1),
+                ]
+            )
+
+    text = format_table(
+        ["shards", "shard sizes", "latency ns", "modelled Mpps", "measured kpps"],
+        rows,
+        title=f"Sharded serving scaling ({CLASSIFIER} shards, "
+              f"{application} {size} rules)",
+    )
+    report("sharded_scaling", text)
+    report_json(
+        "sharded_scaling",
+        {
+            "bench": "sharded_scaling",
+            "classifier": CLASSIFIER,
+            "application": application,
+            "rules": size,
+            "trace_packets": len(trace),
+            "batch_size": 128,
+            "series": series,
+        },
+    )
+
+    assert len(series) >= 3, "need at least 3 shard counts for the scaling curve"
+    # Shape check: splitting the structure across cores must help — the best
+    # sharded configuration beats the single-shard baseline in the model.
+    assert max(modelled_pps[1:]) > modelled_pps[0]

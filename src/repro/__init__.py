@@ -24,6 +24,10 @@ Subsystems:
 
 * :mod:`repro.engine` — the :class:`ClassificationEngine` serving facade:
   build → serve → update → persist.
+* :mod:`repro.serving` — multi-core sharded serving: :class:`ShardedEngine`
+  partitions the rules across per-shard engines (iSet-aware), fans batches
+  out over a worker pool, and absorbs online updates with background
+  retraining, the way the paper's evaluation scales across cores.
 * :mod:`repro.core` — the RQ-RMI learned range index, iSet partitioning and
   the end-to-end NuevoMatch classifier (the paper's contribution).
 * :mod:`repro.rules` — rule model, ClassBench-like and Stanford-backbone-like
@@ -61,8 +65,9 @@ from repro.core import (
     partition_isets,
 )
 from repro.engine import ClassificationEngine
+from repro.serving import ShardedEngine, UpdateQueue
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FieldSchema",
@@ -72,6 +77,8 @@ __all__ = [
     "generate_classbench",
     "generate_stanford_backbone",
     "ClassificationEngine",
+    "ShardedEngine",
+    "UpdateQueue",
     "available_classifiers",
     "build_classifier",
     "register",

@@ -14,6 +14,10 @@ Commands:
   :class:`~repro.engine.ClassificationEngine` and persists it, ``engine load``
   inspects a saved engine, ``engine serve`` runs batched classification over
   a generated trace.
+* ``serve``    — multi-core sharded serving: build a
+  :class:`~repro.serving.ShardedEngine` over a rule-set (``--shards N``), run
+  a generated trace through the worker pool, and report measured plus
+  modelled throughput; ``--save`` persists all shards to one snapshot.
 
 Classifier choice lists are generated from the registry
 (:func:`repro.classifiers.available_classifiers`), so newly registered
@@ -38,10 +42,13 @@ from repro.rules import (
     parse_classbench_file,
     write_classbench_file,
 )
+from repro.serving import EXECUTORS, PARTITIONERS, ShardedEngine
+from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD
 from repro.simulation import (
     CostModel,
     evaluate_classifier,
     evaluate_nuevomatch,
+    evaluate_sharded,
     speedup,
 )
 from repro.traffic import generate_uniform_trace
@@ -108,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--packets", type=int, default=1000)
     serve.add_argument("--batch-size", type=int, default=128)
     serve.add_argument("--seed", type=int, default=1)
+
+    sharded = sub.add_parser(
+        "serve", help="serve a rule-set through a multi-core ShardedEngine"
+    )
+    sharded.add_argument(
+        "ruleset", help="ClassBench-format rule-set file or .json/.json.gz "
+                        "sharded snapshot saved with --save"
+    )
+    sharded.add_argument("--shards", type=int, default=2)
+    sharded.add_argument("--classifier", default="nm", choices=available_classifiers())
+    sharded.add_argument("--remainder", default="tm", choices=_baseline_choices())
+    sharded.add_argument("--partitioner", default="auto", choices=list(PARTITIONERS))
+    sharded.add_argument("--executor", default="thread", choices=list(EXECUTORS))
+    sharded.add_argument("--retrain-threshold", type=float,
+                         default=DEFAULT_RETRAIN_THRESHOLD)
+    sharded.add_argument("--error-threshold", type=int, default=64)
+    sharded.add_argument("--packets", type=int, default=2000)
+    sharded.add_argument("--batch-size", type=int, default=128)
+    sharded.add_argument("--seed", type=int, default=1)
+    sharded.add_argument("--save", help="persist the sharded engine to this path")
     return parser
 
 
@@ -293,11 +320,75 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    path = str(args.ruleset)
+    if path.endswith((".json", ".json.gz")):
+        sharded = ShardedEngine.load(path, executor=args.executor)
+    else:
+        ruleset = parse_classbench_file(args.ruleset)
+        params = {}
+        if args.classifier == "nm":
+            params = {
+                "remainder_classifier": args.remainder,
+                "config": _nm_config(args.error_threshold),
+            }
+        sharded = ShardedEngine.build(
+            ruleset,
+            shards=args.shards,
+            classifier=args.classifier,
+            partitioner=args.partitioner,
+            executor=args.executor,
+            retrain_threshold=args.retrain_threshold,
+            **params,
+        )
+    with sharded:
+        trace = generate_uniform_trace(
+            sharded.ruleset, args.packets, seed=args.seed
+        )
+        start = time.perf_counter()
+        matched = 0
+        num_batches = 0
+        for report in sharded.serve(trace, batch_size=args.batch_size):
+            matched += report.matched
+            num_batches += 1
+        elapsed = time.perf_counter() - start
+        modelled = evaluate_sharded(
+            sharded, trace, CostModel(), batch_size=args.batch_size
+        )
+        print(format_kv(
+            {
+                "shards": sharded.num_shards,
+                "shard sizes": "/".join(str(s) for s in sharded.shard_sizes()),
+                "executor": sharded.executor,
+                "partitioner": sharded.partitioner,
+                "packets": len(trace),
+                "batches": num_batches,
+                "matched": matched,
+                "measured wall s": round(elapsed, 3),
+                "measured kpps": round(len(trace) / elapsed / 1e3, 1)
+                if elapsed > 0 else 0.0,
+                "modelled latency ns/pkt": round(modelled.avg_latency_ns, 1),
+                "modelled throughput Mpps": round(
+                    modelled.throughput_pps / 1e6, 3
+                ),
+            },
+            title=f"sharded[{sharded.num_shards}] serving "
+                  f"{sum(sharded.shard_sizes())} rules",
+        ))
+        if args.save:
+            sharded.save(args.save)
+            print(args.save)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "build": _cmd_build,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
 }
 
 _ENGINE_COMMANDS = {

@@ -22,7 +22,13 @@ from repro.core.config import (
 from repro.core.submodel import Submodel
 from repro.core.training import TrainingDataset, sample_responsibility, train_submodel
 from repro.core.rqrmi import RQRMI, RangeSet, RQRMILookup, TrainingReport
-from repro.core.isets import ISet, PartitionResult, max_independent_set, partition_isets
+from repro.core.isets import (
+    ISet,
+    PartitionResult,
+    max_independent_set,
+    partition_isets,
+    partition_shards,
+)
 from repro.core.metrics import (
     field_diversity,
     partition_quality,
@@ -55,6 +61,7 @@ __all__ = [
     "PartitionResult",
     "max_independent_set",
     "partition_isets",
+    "partition_shards",
     "ISetIndex",
     "LookupBreakdown",
     "NuevoMatch",

@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 
 from repro.rules.rule import Rule, RuleSet
 
-__all__ = ["ISet", "PartitionResult", "max_independent_set", "partition_isets"]
+__all__ = [
+    "ISet",
+    "PartitionResult",
+    "max_independent_set",
+    "partition_isets",
+    "partition_shards",
+]
 
 
 @dataclass
@@ -134,3 +140,70 @@ def partition_isets(
         remaining = [rule for rule in remaining if rule.rule_id not in chosen_ids]
 
     return PartitionResult(isets=isets, remainder=remaining, total_rules=total)
+
+
+def partition_shards(
+    ruleset: RuleSet,
+    num_shards: int,
+    min_coverage: float = 0.0,
+) -> list[list[Rule]]:
+    """Split a rule-set into ``num_shards`` balanced, iSet-aware groups.
+
+    The paper scales NuevoMatch by distributing iSets (and the remainder)
+    across cores; this helper reproduces that split at the rule level so each
+    shard can build its own classifier.  iSets from :func:`partition_isets`
+    are cut into contiguous chunks no larger than the per-shard target size —
+    any subset of an iSet is still an iSet (pairwise non-overlap is preserved),
+    so chunking keeps the property each shard's RQ-RMI relies on while
+    avoiding one giant shard.  Chunks are then assigned to the currently
+    smallest shard (longest-processing-time greedy bin packing, largest chunk
+    first) and remainder rules top up the smallest shards one by one.
+
+    Every rule lands in exactly one shard; the union of the shards is the
+    input rule-set.
+
+    Args:
+        ruleset: The input rules.
+        num_shards: Number of groups, ``1 <= num_shards <= len(ruleset)``.
+        min_coverage: Forwarded to :func:`partition_isets`.
+
+    Returns:
+        ``num_shards`` non-empty rule lists.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if num_shards > len(ruleset):
+        raise ValueError(
+            f"cannot split {len(ruleset)} rules into {num_shards} shards"
+        )
+    if num_shards == 1:
+        return [list(ruleset.rules)]
+
+    partition = partition_isets(ruleset, min_coverage=min_coverage)
+    shards: list[list[Rule]] = [[] for _ in range(num_shards)]
+    target = -(-len(ruleset) // num_shards)  # ceil division
+
+    chunks: list[list[Rule]] = []
+    for iset in partition.isets:
+        num_chunks = -(-len(iset) // target)
+        chunk_size = -(-len(iset) // num_chunks)
+        for start in range(0, len(iset), chunk_size):
+            chunks.append(iset.rules[start : start + chunk_size])
+
+    def smallest() -> list[Rule]:
+        return min(shards, key=len)
+
+    for chunk in sorted(chunks, key=len, reverse=True):
+        smallest().extend(chunk)
+    for rule in partition.remainder:
+        smallest().append(rule)
+
+    # Tiny inputs can leave a shard empty (e.g. one giant iSet and no
+    # remainder); rebalance by stealing single rules from the largest shard.
+    for shard in shards:
+        while not shard:
+            donor = max(shards, key=len)
+            if len(donor) <= 1:
+                break
+            shard.append(donor.pop())
+    return shards

@@ -60,15 +60,23 @@ class Submodel:
         return int(self.w1.shape[0])
 
     def raw(self, x: float) -> float:
-        """The untrimmed network output N(x)."""
+        """The untrimmed network output N(x).
+
+        The output sum uses multiply-then-``sum`` rather than ``@``: BLAS
+        matvec accumulates in a shape-dependent order, so the same input could
+        produce last-ulp-different outputs in scalar, single-row and batched
+        evaluation — and the analytically computed error bound only covers the
+        function it was evaluated on.  ``sum`` over the fixed-size last axis
+        reduces in one deterministic order for every call shape.
+        """
         hidden = np.maximum(self.w1 * x + self.b1, 0.0)
-        return float(hidden @ self.w2 + self.b2)
+        return float((hidden * self.w2).sum() + self.b2)
 
     def raw_batch(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorised N(x) for an array of inputs."""
+        """Vectorised N(x); bitwise-identical per element to :meth:`raw`."""
         xs = np.asarray(xs, dtype=np.float64).reshape(-1, 1)
         hidden = np.maximum(xs * self.w1 + self.b1, 0.0)
-        return hidden @ self.w2 + self.b2
+        return (hidden * self.w2).sum(axis=1) + self.b2
 
     def __call__(self, x: float) -> float:
         """The trimmed output M(x) in [0, 1)."""

@@ -14,10 +14,14 @@ See :mod:`repro.engine.engine` for the facade and
 :mod:`repro.engine.serialization` for the on-disk format.
 """
 
-from repro.engine.engine import BatchReport, ClassificationEngine
+from repro.engine.engine import BatchReport, ClassificationEngine, serve_in_batches
 from repro.engine.serialization import (
     ENGINE_FILE_VERSION,
+    SHARDED_FILE_VERSION,
+    read_document,
     read_engine_file,
+    rule_from_state,
+    rule_to_state,
     ruleset_from_state,
     ruleset_to_state,
     write_engine_file,
@@ -26,9 +30,14 @@ from repro.engine.serialization import (
 __all__ = [
     "ClassificationEngine",
     "BatchReport",
+    "serve_in_batches",
     "ENGINE_FILE_VERSION",
+    "SHARDED_FILE_VERSION",
+    "rule_to_state",
+    "rule_from_state",
     "ruleset_to_state",
     "ruleset_from_state",
     "write_engine_file",
     "read_engine_file",
+    "read_document",
 ]

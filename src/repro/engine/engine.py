@@ -39,7 +39,7 @@ from repro.engine.serialization import (
 )
 from repro.rules.rule import Packet, Rule, RuleSet
 
-__all__ = ["ClassificationEngine", "BatchReport"]
+__all__ = ["ClassificationEngine", "BatchReport", "serve_in_batches"]
 
 
 class BatchReport:
@@ -48,6 +48,9 @@ class BatchReport:
     def __init__(self, results: list[ClassificationResult]):
         self.results = results
         self.trace = LookupTrace.aggregate(result.trace for result in results)
+        # Counted once here rather than re-scanning the results on every
+        # property access — serve loops read `matched` per batch.
+        self._matched = sum(1 for result in results if result.matched)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -58,7 +61,33 @@ class BatchReport:
     @property
     def matched(self) -> int:
         """Number of packets that matched some rule."""
-        return sum(1 for result in self.results if result.matched)
+        return self._matched
+
+
+def serve_in_batches(
+    classify_batch, packets: Iterable, batch_size: int = 128
+) -> Iterable[BatchReport]:
+    """Serve a packet stream in fixed-size batches through ``classify_batch``.
+
+    Shared by every serving front-end (:meth:`ClassificationEngine.serve`,
+    :meth:`repro.serving.ShardedEngine.serve`) so batching semantics cannot
+    drift between them.  The ``batch_size`` validation fires at the call
+    site, not on first iteration.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+
+    def _batches() -> Iterable[BatchReport]:
+        batch: list = []
+        for packet in packets:
+            batch.append(packet)
+            if len(batch) >= batch_size:
+                yield BatchReport(classify_batch(batch))
+                batch = []
+        if batch:
+            yield BatchReport(classify_batch(batch))
+
+    return _batches()
 
 
 class ClassificationEngine:
@@ -129,20 +158,7 @@ class ClassificationEngine:
         self, packets: Iterable[Packet | Sequence[int]], batch_size: int = 128
     ) -> Iterable[BatchReport]:
         """Serve a packet stream in fixed-size batches, yielding batch reports."""
-        if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
-
-        def _batches() -> Iterable[BatchReport]:
-            batch: list[Packet | Sequence[int]] = []
-            for packet in packets:
-                batch.append(packet)
-                if len(batch) >= batch_size:
-                    yield BatchReport(self.classify_batch(batch))
-                    batch = []
-            if batch:
-                yield BatchReport(self.classify_batch(batch))
-
-        return _batches()
+        return serve_in_batches(self.classify_batch, packets, batch_size)
 
     def verify(self, packets: Iterable[Packet]) -> int:
         """Check the engine against linear search; see :meth:`Classifier.verify`."""
@@ -199,6 +215,42 @@ class ClassificationEngine:
 
     # ------------------------------------------------------------ persistence
 
+    def to_document(self) -> dict:
+        """The engine's snapshot document (the JSON payload :meth:`save` writes).
+
+        Exposed separately so composite snapshots — the sharded-engine format
+        embeds one engine document per shard — reuse the same layout.
+        """
+        from repro import __version__
+
+        return {
+            "format": ENGINE_FILE_VERSION,
+            "repro_version": __version__,
+            "classifier_kind": self.classifier_name,
+            "ruleset": ruleset_to_state(self._effective_ruleset()),
+            "classifier": self.classifier.to_state(),
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "ClassificationEngine":
+        """Inverse of :meth:`to_document` (validates the format version)."""
+        if document.get("kind") == "sharded-engine":
+            raise ValueError(
+                "this is a sharded-engine snapshot; load it with "
+                "repro.serving.ShardedEngine.load"
+            )
+        version = document.get("format")
+        if version != ENGINE_FILE_VERSION:
+            raise ValueError(
+                f"unsupported engine file format {version!r} "
+                f"(this build reads version {ENGINE_FILE_VERSION})"
+            )
+        ruleset = ruleset_from_state(document["ruleset"])
+        classifier_cls = resolve_classifier(document["classifier_kind"])
+        classifier = classifier_cls.from_state(document["classifier"], ruleset)
+        return cls(classifier, metadata=document.get("metadata"))
+
     def save(self, path: str | Path) -> None:
         """Persist the engine — rules plus trained classifier state — to disk.
 
@@ -211,28 +263,12 @@ class ClassificationEngine:
         differ from the incrementally-updated original's.  Paths ending in
         ``.gz`` are compressed.
         """
-        from repro import __version__
-
-        write_engine_file(
-            path,
-            {
-                "format": ENGINE_FILE_VERSION,
-                "repro_version": __version__,
-                "classifier_kind": self.classifier_name,
-                "ruleset": ruleset_to_state(self._effective_ruleset()),
-                "classifier": self.classifier.to_state(),
-                "metadata": self.metadata,
-            },
-        )
+        write_engine_file(path, self.to_document())
 
     @classmethod
     def load(cls, path: str | Path) -> "ClassificationEngine":
         """Restore an engine saved with :meth:`save`."""
-        document = read_engine_file(path)
-        ruleset = ruleset_from_state(document["ruleset"])
-        classifier_cls = resolve_classifier(document["classifier_kind"])
-        classifier = classifier_cls.from_state(document["classifier"], ruleset)
-        return cls(classifier, metadata=document.get("metadata"))
+        return cls.from_document(read_engine_file(path))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

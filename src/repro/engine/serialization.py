@@ -28,14 +28,43 @@ from repro.rules.rule import Rule, RuleSet
 
 __all__ = [
     "ENGINE_FILE_VERSION",
+    "SHARDED_FILE_VERSION",
+    "rule_to_state",
+    "rule_from_state",
     "ruleset_to_state",
     "ruleset_from_state",
     "write_engine_file",
     "read_engine_file",
+    "read_document",
 ]
 
 #: Version of the on-disk engine file layout.
 ENGINE_FILE_VERSION = 1
+
+#: Version of the on-disk sharded-engine snapshot layout (a top-level document
+#: embedding one engine document per shard; see ``repro.serving``).
+SHARDED_FILE_VERSION = 1
+
+
+def rule_to_state(rule: Rule) -> list:
+    """JSON-compatible dump of one rule: exact ranges, priority, action, id."""
+    return [
+        [[int(lo), int(hi)] for lo, hi in rule.ranges],
+        rule.priority,
+        rule.action,
+        rule.rule_id,
+    ]
+
+
+def rule_from_state(state: list) -> Rule:
+    """Inverse of :func:`rule_to_state`."""
+    ranges, priority, action, rule_id = state
+    return Rule(
+        ranges=tuple((int(lo), int(hi)) for lo, hi in ranges),
+        priority=int(priority),
+        action=action,
+        rule_id=int(rule_id),
+    )
 
 
 def ruleset_to_state(ruleset: RuleSet) -> dict:
@@ -46,15 +75,7 @@ def ruleset_to_state(ruleset: RuleSet) -> dict:
             {"name": spec.name, "bits": spec.bits, "kind": spec.kind}
             for spec in ruleset.schema
         ],
-        "rules": [
-            [
-                [[int(lo), int(hi)] for lo, hi in rule.ranges],
-                rule.priority,
-                rule.action,
-                rule.rule_id,
-            ]
-            for rule in ruleset
-        ],
+        "rules": [rule_to_state(rule) for rule in ruleset],
     }
 
 
@@ -66,15 +87,7 @@ def ruleset_from_state(state: dict) -> RuleSet:
             for spec in state["schema"]
         ]
     )
-    rules = [
-        Rule(
-            ranges=tuple((int(lo), int(hi)) for lo, hi in ranges),
-            priority=int(priority),
-            action=action,
-            rule_id=int(rule_id),
-        )
-        for ranges, priority, action, rule_id in state["rules"]
-    ]
+    rules = [rule_from_state(rule_state) for rule_state in state["rules"]]
     return RuleSet(rules, schema, name=state.get("name", "ruleset"))
 
 
@@ -89,15 +102,24 @@ def write_engine_file(path: str | Path, document: dict) -> None:
         path.write_bytes(payload)
 
 
-def read_engine_file(path: str | Path) -> dict:
-    """Read an engine snapshot document written by :func:`write_engine_file`."""
+def read_document(path: str | Path) -> dict:
+    """Read an (optionally gzipped) JSON snapshot document, no version check.
+
+    Callers validate the ``format`` field themselves — engine files and
+    sharded-engine files are versioned independently.
+    """
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rb") as handle:
             payload = handle.read()
     else:
         payload = path.read_bytes()
-    document = json.loads(payload.decode("utf-8"))
+    return json.loads(payload.decode("utf-8"))
+
+
+def read_engine_file(path: str | Path) -> dict:
+    """Read an engine snapshot document written by :func:`write_engine_file`."""
+    document = read_document(path)
     version = document.get("format")
     if version != ENGINE_FILE_VERSION:
         raise ValueError(

@@ -1,0 +1,30 @@
+"""Multi-core sharded serving on top of the :class:`ClassificationEngine`.
+
+This package scales the serving layer the way the paper's evaluation scales
+NuevoMatch — by splitting the rule-set across cores::
+
+    from repro.serving import ShardedEngine
+
+    sharded = ShardedEngine.build(ruleset, shards=4, classifier="nm")
+    results = sharded.classify_batch(packets)      # fan out + priority merge
+    sharded.insert(rule)                           # immediate, overlay-based
+    sharded.save("acl1.sharded.json.gz")           # all shards, one snapshot
+
+See :mod:`repro.serving.sharded` for the engine,
+:mod:`repro.serving.partitioning` for the iSet-aware rule split and
+:mod:`repro.serving.updates` for the online-update / background-retraining
+policy.
+"""
+
+from repro.serving.partitioning import PARTITIONERS, partition_for_shards
+from repro.serving.sharded import EXECUTORS, ShardedEngine
+from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
+
+__all__ = [
+    "ShardedEngine",
+    "UpdateQueue",
+    "partition_for_shards",
+    "PARTITIONERS",
+    "EXECUTORS",
+    "DEFAULT_RETRAIN_THRESHOLD",
+]

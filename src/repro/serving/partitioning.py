@@ -1,0 +1,72 @@
+"""Rule-set partitioning strategies for sharded serving.
+
+The paper scales NuevoMatch's throughput by splitting the rule-set across
+cores; :func:`partition_for_shards` reproduces that split.  The default
+strategy keeps each iSet whole on one shard (via
+:func:`repro.core.isets.partition_shards`), preserving the non-overlap
+property each shard's RQ-RMIs rely on, and falls back to plain round-robin
+when the rule-set yields no usable iSets.
+"""
+
+from __future__ import annotations
+
+from repro.core.isets import partition_isets, partition_shards
+from repro.rules.rule import RuleSet
+
+__all__ = ["PARTITIONERS", "partition_for_shards"]
+
+#: Accepted strategy names: ``"auto"`` tries iSet-aware partitioning and falls
+#: back to round-robin; the other two force one strategy.
+PARTITIONERS = ("auto", "isets", "round-robin")
+
+
+def _round_robin(ruleset: RuleSet, num_shards: int) -> list[list]:
+    shards: list[list] = [[] for _ in range(num_shards)]
+    for position, rule in enumerate(ruleset):
+        shards[position % num_shards].append(rule)
+    return shards
+
+
+def partition_for_shards(
+    ruleset: RuleSet, num_shards: int, strategy: str = "auto"
+) -> list[RuleSet]:
+    """Split ``ruleset`` into ``num_shards`` disjoint sub-rule-sets.
+
+    Every rule lands in exactly one shard; a sharded engine therefore queries
+    all shards and merges by priority, exactly like NuevoMatch's selector
+    merges its iSets.
+
+    Args:
+        ruleset: The input rules.
+        num_shards: Number of shards, ``1 <= num_shards <= len(ruleset)``.
+        strategy: One of :data:`PARTITIONERS`.
+    """
+    if strategy not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {strategy!r}; expected one of {PARTITIONERS}"
+        )
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if num_shards > len(ruleset):
+        raise ValueError(
+            f"cannot split {len(ruleset)} rules into {num_shards} shards"
+        )
+
+    if strategy == "round-robin" or num_shards == 1:
+        groups = (
+            [list(ruleset.rules)]
+            if num_shards == 1
+            else _round_robin(ruleset, num_shards)
+        )
+    elif strategy == "isets":
+        groups = partition_shards(ruleset, num_shards)
+    else:  # auto
+        if partition_isets(ruleset, max_isets=1).isets:
+            groups = partition_shards(ruleset, num_shards)
+        else:
+            groups = _round_robin(ruleset, num_shards)
+
+    return [
+        ruleset.subset(rules, name=f"{ruleset.name}-shard{index}")
+        for index, rules in enumerate(groups)
+    ]

@@ -1,0 +1,696 @@
+"""Multi-core sharded serving: the :class:`ShardedEngine`.
+
+The paper's evaluation scales NuevoMatch by splitting the rule-set across
+cores and merging per-core matches by priority (§5).  :class:`ShardedEngine`
+reproduces that layer in software: the rule-set is partitioned across ``N``
+per-shard :class:`~repro.engine.ClassificationEngine` instances (iSet-aware by
+default, see :mod:`repro.serving.partitioning`), ``classify_batch`` fans out
+over a worker pool, and the per-shard winners merge exactly like NuevoMatch's
+selector merges its iSets — lowest numeric priority wins, ties broken by
+``rule_id``.
+
+Executors:
+
+* ``"thread"`` (default) — one persistent :class:`ThreadPoolExecutor` worker
+  per shard.  The numpy-heavy lookup paths release the GIL, so threads give
+  real parallelism without pickling.
+* ``"process"`` — a :class:`ProcessPoolExecutor` whose workers each restore
+  the shard engines from their snapshot documents; useful when lookups are
+  dominated by pure-Python classifier code.  The pool is resynced
+  automatically after a shard retrain swaps an engine.
+* ``"serial"`` — in-process loop, for debugging and deterministic tests.
+
+Online updates go through :class:`~repro.serving.updates.UpdateQueue`:
+inserts/removes apply immediately to the owning shard's overlay ("delta
+remainder") and background retraining folds the overlay back into the shard's
+built structure once its remainder fraction crosses the threshold, swapping
+the rebuilt engine in atomically.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.classifiers.base import (
+    ClassificationResult,
+    LookupTrace,
+    MemoryFootprint,
+)
+from repro.core.nuevomatch import NuevoMatch
+from repro.engine.engine import BatchReport, ClassificationEngine, serve_in_batches
+from repro.engine.serialization import (
+    SHARDED_FILE_VERSION,
+    read_document,
+    rule_from_state,
+    rule_to_state,
+    write_engine_file,
+)
+from repro.rules.rule import Packet, Rule, RuleSet
+from repro.serving.partitioning import PARTITIONERS, partition_for_shards
+from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
+
+__all__ = ["EXECUTORS", "ShardedEngine"]
+
+#: Accepted fan-out strategies.
+EXECUTORS = ("thread", "process", "serial")
+
+#: ``kind`` discriminator stored in sharded snapshot documents.
+_SHARDED_KIND = "sharded-engine"
+
+
+class _Shard:
+    """One shard: its engine, the update overlay, and swap bookkeeping.
+
+    The overlay is the shard's *delta remainder*: ``inserted`` holds rules
+    added (or modified) since the engine was built, ``removed`` masks rule ids
+    deleted from the built structure.  Both carry the update sequence number
+    at which they were applied, so a retrain can fold in exactly the updates
+    its snapshot covered and keep the rest pending.
+    """
+
+    def __init__(self, index: int, engine: ClassificationEngine):
+        self.index = index
+        self.engine = engine
+        self.lock = threading.RLock()
+        #: rule_id -> (update sequence, rule)
+        self.inserted: dict[int, tuple[int, Rule]] = {}
+        #: rule_id -> update sequence at which it was masked
+        self.removed: dict[int, int] = {}
+        self.update_seq = 0
+        self.generation = 0
+        self.retraining = False
+        self.retrain_count = 0
+        self._base_ids: set[int] = set()
+        self._base_ids_generation = -1
+
+    # ------------------------------------------------------------- live view
+
+    def base_ids(self) -> set[int]:
+        """Ids of the rules in the built engine (cached per generation)."""
+        with self.lock:
+            if self._base_ids_generation != self.generation:
+                self._base_ids = {rule.rule_id for rule in self.engine.ruleset}
+                self._base_ids_generation = self.generation
+            return self._base_ids
+
+    def live_ids(self) -> set[int]:
+        with self.lock:
+            return (self.base_ids() - set(self.removed)) | set(self.inserted)
+
+    def live_size(self) -> int:
+        with self.lock:
+            base_ids = self.base_ids()
+            masked = sum(1 for rule_id in self.removed if rule_id in base_ids)
+            return len(base_ids) - masked + len(self.inserted)
+
+    def live_ruleset(self) -> RuleSet:
+        """The shard's effective rules: base minus masks plus the overlay."""
+        with self.lock:
+            rules = [
+                rule
+                for rule in self.engine.ruleset
+                if rule.rule_id not in self.removed
+            ]
+            rules.extend(rule for _seq, rule in self.inserted.values())
+            return self.engine.ruleset.subset(rules)
+
+    def remainder_fraction(self) -> float:
+        """Fraction of live rules served by the slow path (§3.9).
+
+        For a NuevoMatch shard that is the built-in remainder set plus the
+        update overlay; for baseline shards only the overlay counts (the whole
+        structure *is* the "remainder").
+        """
+        with self.lock:
+            live = self.live_size()
+            if live <= 0:
+                return 1.0
+            classifier = self.engine.classifier
+            base_remainder = (
+                len(classifier.partition.remainder)
+                if isinstance(classifier, NuevoMatch)
+                else 0
+            )
+            overlay = len(self.inserted) + len(self.removed)
+            return min(1.0, (base_remainder + overlay) / live)
+
+    # --------------------------------------------------------------- updates
+
+    def apply_insert(self, rule: Rule, mask_old: bool) -> None:
+        with self.lock:
+            self.update_seq += 1
+            if mask_old:
+                self.removed[rule.rule_id] = self.update_seq
+            self.inserted[rule.rule_id] = (self.update_seq, rule)
+
+    def apply_remove(self, rule_id: int) -> None:
+        with self.lock:
+            self.update_seq += 1
+            self.inserted.pop(rule_id, None)
+            self.removed[rule_id] = self.update_seq
+
+    # ------------------------------------------------------------ retraining
+
+    def begin_retrain(self) -> tuple[RuleSet, int]:
+        """Snapshot the live rules; returns (snapshot, snapshot sequence)."""
+        with self.lock:
+            snapshot_seq = self.update_seq
+            return self.live_ruleset(), snapshot_seq
+
+    def complete_retrain(self, new_engine: ClassificationEngine, snapshot_seq: int) -> None:
+        """Swap the rebuilt engine in and fold the covered overlay entries."""
+        with self.lock:
+            new_ids = {rule.rule_id for rule in new_engine.ruleset}
+            self.engine = new_engine
+            self.inserted = {
+                rule_id: (seq, rule)
+                for rule_id, (seq, rule) in self.inserted.items()
+                if seq > snapshot_seq
+            }
+            # Masks newer than the snapshot still apply (their base copy is in
+            # the rebuilt structure); everything else was already excluded.
+            self.removed = {
+                rule_id: seq
+                for rule_id, seq in self.removed.items()
+                if seq > snapshot_seq and rule_id in new_ids
+            }
+            self.generation += 1
+            self.retrain_count += 1
+            self.retraining = False
+
+    # -------------------------------------------------------------- serving
+
+    def snapshot(self) -> tuple[ClassificationEngine, list[Rule], frozenset]:
+        """Consistent (engine, overlay rules best-first, masked ids) triple."""
+        with self.lock:
+            overlay = sorted(
+                (rule for _seq, rule in self.inserted.values()),
+                key=lambda rule: (rule.priority, rule.rule_id),
+            )
+            return self.engine, overlay, frozenset(self.removed)
+
+    def adjust(
+        self,
+        engine: ClassificationEngine,
+        overlay: list[Rule],
+        removed: frozenset,
+        results: list[ClassificationResult],
+        packets: Sequence,
+    ) -> list[ClassificationResult]:
+        """Apply the update overlay to the shard's base lookup results."""
+        if not overlay and not removed:
+            return results
+        adjusted: list[ClassificationResult] = []
+        num_fields = len(engine.ruleset.schema)
+        for result, packet in zip(results, packets):
+            winner = result.rule
+            trace = result.trace
+            values = packet.values if isinstance(packet, Packet) else tuple(packet)
+            if winner is not None and winner.rule_id in removed:
+                # The built structure returned a masked rule: rescan the live
+                # base rules for the runner-up (rare path; masked rules vanish
+                # for good at the next retraining, cf. UpdatableNuevoMatch).
+                winner = None
+                scanned = 0
+                for rule in engine.ruleset:
+                    if rule.rule_id in removed:
+                        continue
+                    scanned += 1
+                    if rule.matches(values) and (
+                        winner is None
+                        or (rule.priority, rule.rule_id)
+                        < (winner.priority, winner.rule_id)
+                    ):
+                        winner = rule
+                trace = LookupTrace(
+                    index_accesses=trace.index_accesses,
+                    rule_accesses=trace.rule_accesses + scanned,
+                    model_accesses=trace.model_accesses,
+                    compute_ops=trace.compute_ops + scanned * num_fields,
+                    hash_ops=trace.hash_ops,
+                )
+            for rule in overlay:  # best-first: first match wins
+                if winner is not None and (winner.priority, winner.rule_id) < (
+                    rule.priority,
+                    rule.rule_id,
+                ):
+                    break
+                trace = LookupTrace(
+                    index_accesses=trace.index_accesses,
+                    rule_accesses=trace.rule_accesses + 1,
+                    model_accesses=trace.model_accesses,
+                    compute_ops=trace.compute_ops + num_fields,
+                    hash_ops=trace.hash_ops,
+                )
+                if rule.matches(values):
+                    winner = rule
+                    break
+            adjusted.append(ClassificationResult(winner, trace))
+        return adjusted
+
+    def statistics(self) -> dict[str, object]:
+        with self.lock:
+            return {
+                "shard": self.index,
+                "classifier": self.engine.classifier_name,
+                "live_rules": self.live_size(),
+                "base_rules": len(self.engine.ruleset),
+                "overlay_inserted": len(self.inserted),
+                "overlay_removed": len(self.removed),
+                "remainder_fraction": self.remainder_fraction(),
+                "generation": self.generation,
+                "retrain_count": self.retrain_count,
+            }
+
+
+def _rebuild_shard_engine(shard: _Shard) -> tuple[ClassificationEngine, int]:
+    """Build a fresh engine over a shard's live rules (outside its lock)."""
+    live, snapshot_seq = shard.begin_retrain()
+    old = shard.engine.classifier
+    if isinstance(old, NuevoMatch):
+        classifier = NuevoMatch.build(
+            live,
+            remainder_classifier=type(old.remainder),
+            config=old.config,
+            **old.remainder.build_params,
+        )
+    else:
+        classifier = type(old).build(live, **old.build_params)
+    return (
+        ClassificationEngine(classifier, metadata=shard.engine.metadata),
+        snapshot_seq,
+    )
+
+
+# --------------------------------------------------------------------------
+# Process-pool plumbing.  Workers restore the shard engines once (from their
+# snapshot documents, passed through the pool initializer) and then serve
+# classify_batch requests addressed by shard index.
+
+_WORKER_ENGINES: list[ClassificationEngine] | None = None
+
+
+def _process_worker_init(documents: list[dict]) -> None:
+    global _WORKER_ENGINES
+    _WORKER_ENGINES = [
+        ClassificationEngine.from_document(document) for document in documents
+    ]
+
+
+def _process_worker_classify(index: int, packets: list) -> list[ClassificationResult]:
+    assert _WORKER_ENGINES is not None, "process pool initializer did not run"
+    return _WORKER_ENGINES[index].classify_batch(packets)
+
+
+class ShardedEngine:
+    """N per-shard engines serving as one classifier, with online updates.
+
+    Build with :meth:`build` (partitions the rule-set and builds one
+    :class:`~repro.engine.ClassificationEngine` per shard) or restore with
+    :meth:`load`.  ``classify_batch`` output is identical to an unsharded
+    engine over the same rules: every shard classifies the batch against its
+    subset and the per-packet winners merge by ``(priority, rule_id)``; the
+    merged trace is the element-wise sum of the shard traces (the total work
+    performed across cores).
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ClassificationEngine],
+        partitioner: str = "auto",
+        executor: str = "thread",
+        retrain_threshold: float = DEFAULT_RETRAIN_THRESHOLD,
+        background_retraining: bool = True,
+        metadata: dict | None = None,
+    ):
+        if not engines:
+            raise ValueError("a ShardedEngine needs at least one shard")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        schema = engines[0].ruleset.schema
+        seen_ids: set[int] = set()
+        for engine in engines:
+            if engine.ruleset.schema != schema:
+                raise ValueError("all shards must share one field schema")
+            for rule in engine.ruleset:
+                if rule.rule_id in seen_ids:
+                    raise ValueError(
+                        f"rule id {rule.rule_id} appears in more than one shard"
+                    )
+                seen_ids.add(rule.rule_id)
+        self._schema = schema
+        self._partitioner = partitioner
+        self._executor_kind = executor
+        self.metadata = dict(metadata or {})
+        self._shards = [_Shard(index, engine) for index, engine in enumerate(engines)]
+        self.updates = UpdateQueue(
+            self._shards,
+            rebuild=_rebuild_shard_engine,
+            retrain_threshold=retrain_threshold,
+            background=background_retraining,
+        )
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_generations: list[int] | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        ruleset: RuleSet,
+        shards: int = 2,
+        classifier: str | type = "nm",
+        partitioner: str = "auto",
+        executor: str = "thread",
+        retrain_threshold: float = DEFAULT_RETRAIN_THRESHOLD,
+        background_retraining: bool = True,
+        metadata: dict | None = None,
+        **params,
+    ) -> "ShardedEngine":
+        """Partition ``ruleset`` and build one engine per shard.
+
+        Args:
+            ruleset: Input rules.
+            shards: Shard count, ``1 <= shards <= len(ruleset)``.
+            classifier: Registry name/alias or class, as in
+                :meth:`ClassificationEngine.build`; every shard uses the same
+                classifier and parameters.
+            partitioner: One of :data:`~repro.serving.partitioning.PARTITIONERS`.
+            executor: One of :data:`EXECUTORS`.
+            retrain_threshold: Remainder fraction triggering a shard retrain.
+            background_retraining: Retrain in a worker thread (default) or
+                inline during the triggering update (deterministic).
+            metadata: Free-form annotations persisted with :meth:`save`.
+            **params: Forwarded to each shard's classifier ``build``.
+        """
+        shard_rulesets = partition_for_shards(ruleset, shards, partitioner)
+        engines = [
+            ClassificationEngine.build(shard_rules, classifier=classifier, **params)
+            for shard_rules in shard_rulesets
+        ]
+        return cls(
+            engines,
+            partitioner=partitioner,
+            executor=executor,
+            retrain_threshold=retrain_threshold,
+            background_retraining=background_retraining,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ serve
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def executor(self) -> str:
+        return self._executor_kind
+
+    @property
+    def partitioner(self) -> str:
+        return self._partitioner
+
+    def shard_sizes(self) -> list[int]:
+        """Live rule count per shard."""
+        return [shard.live_size() for shard in self._shards]
+
+    @property
+    def ruleset(self) -> RuleSet:
+        """The live rules across all shards, best-priority first."""
+        rules: list[Rule] = []
+        for shard in self._shards:
+            rules.extend(shard.live_ruleset().rules)
+        rules.sort(key=lambda rule: (rule.priority, rule.rule_id))
+        return RuleSet(rules, self._schema, name="sharded")
+
+    def classify_batch_per_shard(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[list[ClassificationResult]]:
+        """Per-shard results for a batch (overlay applied), one list per shard.
+
+        The building block of :meth:`classify_batch`; exposed so the
+        simulation layer can price each shard's work separately (per-shard
+        latency → parallel batch latency).
+        """
+        packet_list = list(packets)
+        if not packet_list:
+            return [[] for _ in self._shards]
+        snapshots = [shard.snapshot() for shard in self._shards]
+        base_results = self._fan_out(packet_list, snapshots)
+        return [
+            shard.adjust(engine, overlay, removed, results, packet_list)
+            for shard, (engine, overlay, removed), results in zip(
+                self._shards, snapshots, base_results
+            )
+        ]
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        """Classify a batch; identical matches to an unsharded engine."""
+        packet_list = list(packets)
+        if not packet_list:
+            return []
+        per_shard = self.classify_batch_per_shard(packet_list)
+        merged: list[ClassificationResult] = []
+        for row in range(len(packet_list)):
+            winner: Rule | None = None
+            traces: list[LookupTrace] = []
+            for shard_results in per_shard:
+                result = shard_results[row]
+                traces.append(result.trace)
+                rule = result.rule
+                if rule is not None and (
+                    winner is None
+                    or (rule.priority, rule.rule_id)
+                    < (winner.priority, winner.rule_id)
+                ):
+                    winner = rule
+            merged.append(ClassificationResult(winner, LookupTrace.aggregate(traces)))
+        return merged
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self.classify_batch([packet])[0]
+
+    def classify(self, packet: Packet | Sequence[int]) -> Optional[Rule]:
+        return self.classify_traced(packet).rule
+
+    def serve(
+        self, packets: Iterable[Packet | Sequence[int]], batch_size: int = 128
+    ) -> Iterable[BatchReport]:
+        """Serve a packet stream in fixed-size batches, yielding batch reports."""
+        return serve_in_batches(self.classify_batch, packets, batch_size)
+
+    def verify(self, packets: Iterable[Packet]) -> int:
+        """Check the sharded engine against linear search over the live rules."""
+        oracle = self.ruleset
+        count = 0
+        for packet in packets:
+            expected = oracle.match(packet)
+            actual = self.classify(packet)
+            expected_key = (
+                None if expected is None else (expected.priority, expected.rule_id)
+            )
+            actual_key = None if actual is None else (actual.priority, actual.rule_id)
+            if expected_key != actual_key:
+                raise AssertionError(
+                    f"sharded: mismatch for packet {tuple(packet)}: "
+                    f"expected {expected_key}, got {actual_key}"
+                )
+            count += 1
+        return count
+
+    # ---------------------------------------------------------------- fan-out
+
+    def _fan_out(
+        self, packets: list, snapshots: list
+    ) -> list[list[ClassificationResult]]:
+        engines = [engine for engine, _overlay, _removed in snapshots]
+        if self._executor_kind == "serial" or len(engines) == 1:
+            return [engine.classify_batch(packets) for engine in engines]
+        if self._executor_kind == "thread":
+            pool = self._ensure_thread_pool()
+            futures = [
+                pool.submit(engine.classify_batch, packets) for engine in engines
+            ]
+            return [future.result() for future in futures]
+        pool = self._ensure_process_pool()
+        futures = [
+            pool.submit(_process_worker_classify, index, packets)
+            for index in range(len(self._shards))
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=len(self._shards),
+                    thread_name_prefix="shard",
+                )
+            return self._thread_pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """The worker pool, resynced whenever a retrain swapped an engine."""
+        with self._pool_lock:
+            generations = [shard.generation for shard in self._shards]
+            if self._process_pool is None or generations != self._process_generations:
+                if self._process_pool is not None:
+                    self._process_pool.shutdown(wait=True)
+                documents = [
+                    shard.engine.to_document() for shard in self._shards
+                ]
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=len(self._shards),
+                    initializer=_process_worker_init,
+                    initargs=(documents,),
+                )
+                self._process_generations = generations
+            return self._process_pool
+
+    def close(self) -> None:
+        """Shut down worker pools and wait for in-flight retrains."""
+        self.updates.join()
+        with self._pool_lock:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown(wait=True)
+                self._thread_pool = None
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+                self._process_generations = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, rule: Rule) -> None:
+        """Insert a rule online; applied immediately to the owning shard."""
+        self.updates.insert(rule)
+
+    def remove(self, rule_id: int) -> bool:
+        """Remove a rule online; returns True if it was present."""
+        return self.updates.remove(rule_id)
+
+    # ----------------------------------------------------------- introspection
+
+    def memory_footprint(self) -> MemoryFootprint:
+        footprint = MemoryFootprint()
+        for shard in self._shards:
+            footprint = footprint.merge(shard.engine.memory_footprint())
+        return footprint
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "name": "sharded",
+            "num_shards": self.num_shards,
+            "executor": self._executor_kind,
+            "partitioner": self._partitioner,
+            "num_rules": sum(self.shard_sizes()),
+            "shards": [shard.statistics() for shard in self._shards],
+            "updates": self.updates.statistics(),
+            "engine_metadata": dict(self.metadata),
+        }
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> None:
+        """Persist all shards — engines plus update overlays — to one file.
+
+        The document embeds one versioned engine snapshot per shard, so a
+        restored :class:`ShardedEngine` serves identically without retraining.
+        Paths ending in ``.gz`` are compressed.
+        """
+        from repro import __version__
+
+        shards_state = []
+        for shard in self._shards:
+            with shard.lock:
+                shards_state.append(
+                    {
+                        "engine": shard.engine.to_document(),
+                        "inserted": [
+                            rule_to_state(rule)
+                            for _seq, rule in sorted(shard.inserted.values())
+                        ],
+                        "removed": sorted(shard.removed),
+                    }
+                )
+        write_engine_file(
+            path,
+            {
+                "format": SHARDED_FILE_VERSION,
+                "kind": _SHARDED_KIND,
+                "repro_version": __version__,
+                "partitioner": self._partitioner,
+                "executor": self._executor_kind,
+                "retrain_threshold": self.updates.retrain_threshold,
+                "metadata": self.metadata,
+                "shards": shards_state,
+            },
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        executor: str | None = None,
+        background_retraining: bool = True,
+    ) -> "ShardedEngine":
+        """Restore a sharded engine saved with :meth:`save`.
+
+        ``executor`` overrides the persisted fan-out strategy (e.g. restore a
+        thread-pool snapshot into a process pool).
+        """
+        document = read_document(path)
+        kind = document.get("kind")
+        if kind != _SHARDED_KIND:
+            raise ValueError(
+                f"not a sharded-engine snapshot (kind {kind!r}); "
+                "single-engine files load with ClassificationEngine.load"
+            )
+        version = document.get("format")
+        if version != SHARDED_FILE_VERSION:
+            raise ValueError(
+                f"unsupported sharded-engine file format {version!r} "
+                f"(this build reads version {SHARDED_FILE_VERSION})"
+            )
+        engines = [
+            ClassificationEngine.from_document(shard_state["engine"])
+            for shard_state in document["shards"]
+        ]
+        sharded = cls(
+            engines,
+            partitioner=document.get("partitioner", "auto"),
+            executor=executor or document.get("executor", "thread"),
+            retrain_threshold=document.get(
+                "retrain_threshold", DEFAULT_RETRAIN_THRESHOLD
+            ),
+            background_retraining=background_retraining,
+            metadata=document.get("metadata"),
+        )
+        for shard, shard_state in zip(sharded._shards, document["shards"]):
+            for rule_id in shard_state.get("removed", []):
+                shard.apply_remove(int(rule_id))
+            for rule_state in shard_state.get("inserted", []):
+                shard.apply_insert(rule_from_state(rule_state), mask_old=False)
+        sharded.updates.reindex()
+        return sharded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine({self.num_shards} shards, "
+            f"{sum(self.shard_sizes())} rules, executor={self._executor_kind!r})"
+        )

@@ -1,0 +1,176 @@
+"""Online updates for sharded serving: the :class:`UpdateQueue`.
+
+The paper's update story (§3.9) routes rule additions and matching-set
+changes to the remainder set, which grows until the structure is retrained in
+the background and swapped in.  :class:`UpdateQueue` applies that policy per
+shard:
+
+* **insert / remove apply immediately** — the owning shard's *delta remainder*
+  (a small priority-ordered overlay scanned after the shard's built
+  classifier) absorbs inserted rules, and removed rule ids are masked.  The
+  overlay works for every classifier kind, including ones that do not
+  implement :class:`~repro.classifiers.base.UpdatableClassifier`.
+* **background retraining** — when a shard's remainder fraction (built-in
+  remainder plus overlay, over the live rules) crosses the threshold, its
+  engine is rebuilt over a live snapshot in a worker thread and swapped in
+  atomically; updates that arrive mid-retrain stay in the overlay until the
+  next cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.rules.rule import Rule
+
+__all__ = ["DEFAULT_RETRAIN_THRESHOLD", "UpdateQueue"]
+
+#: Retrain once this fraction of a shard's live rules is served by the slow
+#: path (built-in remainder plus the update overlay) — the paper's framing of
+#: "retrain when the remainder absorbs too much" (§3.9; UpdatableNuevoMatch
+#: uses the same default).
+DEFAULT_RETRAIN_THRESHOLD = 0.5
+
+
+class UpdateQueue:
+    """Routes online inserts/removes to owning shards and manages retraining.
+
+    Args:
+        shards: The engine's shard objects
+            (:class:`repro.serving.sharded._Shard`).
+        rebuild: ``rebuild(shard)`` snapshots the shard's live rules and
+            builds a fresh engine over them (same classifier and parameters);
+            returns ``(engine, snapshot_seq)`` for the atomic swap.
+        retrain_threshold: Remainder fraction that triggers a retrain.
+        background: Retrain in a daemon thread (production mode) or inline
+            during the triggering update (deterministic mode for tests and
+            benchmarks).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        rebuild: Callable,
+        retrain_threshold: float = DEFAULT_RETRAIN_THRESHOLD,
+        background: bool = True,
+    ):
+        if not 0.0 < retrain_threshold <= 1.0:
+            raise ValueError("retrain_threshold must be in (0, 1]")
+        self._shards = list(shards)
+        self._rebuild = rebuild
+        self.retrain_threshold = retrain_threshold
+        self.background = background
+        self._lock = threading.RLock()
+        self._threads: list[threading.Thread] = []
+        #: rule_id -> index of the shard currently holding the rule.
+        self._owner: dict[int, int] = {}
+        self.inserts_applied = 0
+        self.removes_applied = 0
+        self.retrains_triggered = 0
+        self.reindex()
+
+    def reindex(self) -> None:
+        """Rebuild the rule-id ownership map from the shards' live rules."""
+        with self._lock:
+            self._owner = {
+                rule_id: shard.index
+                for shard in self._shards
+                for rule_id in shard.live_ids()
+            }
+
+    # ------------------------------------------------------------- operations
+
+    def owner_of(self, rule_id: int) -> Optional[int]:
+        """Index of the shard holding ``rule_id`` (None if not live)."""
+        with self._lock:
+            return self._owner.get(rule_id)
+
+    def insert(self, rule: Rule) -> None:
+        """Apply an insert immediately to the owning shard's overlay.
+
+        A fresh ``rule_id`` goes to the shard with the fewest live rules
+        (keeping shards balanced); an existing id is a matching-set change —
+        the stale copy is masked on its owning shard and the new version
+        enters the same shard's overlay (the paper's type-(iii) update stays
+        on one shard, so lookups never see both versions).
+        """
+        with self._lock:
+            owner = self._owner.get(rule.rule_id)
+            if owner is None:
+                shard = min(self._shards, key=lambda s: s.live_size())
+            else:
+                shard = self._shards[owner]
+            shard.engine.ruleset.schema.validate_ranges(rule.ranges)
+            shard.apply_insert(rule, mask_old=owner is not None)
+            self._owner[rule.rule_id] = shard.index
+            self.inserts_applied += 1
+        self._maybe_retrain(shard)
+
+    def remove(self, rule_id: int) -> bool:
+        """Mask a rule immediately on its owning shard; True if it was live."""
+        with self._lock:
+            owner = self._owner.get(rule_id)
+            if owner is None:
+                return False
+            shard = self._shards[owner]
+            shard.apply_remove(rule_id)
+            del self._owner[rule_id]
+            self.removes_applied += 1
+        self._maybe_retrain(shard)
+        return True
+
+    # ------------------------------------------------------------- retraining
+
+    def _maybe_retrain(self, shard) -> None:
+        with shard.lock:
+            if shard.retraining:
+                return
+            if shard.remainder_fraction() < self.retrain_threshold:
+                return
+            shard.retraining = True
+        self.retrains_triggered += 1
+        if self.background:
+            thread = threading.Thread(
+                target=self._retrain,
+                args=(shard,),
+                daemon=True,
+                name=f"shard{shard.index}-retrain",
+            )
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+        else:
+            self._retrain(shard)
+
+    def _retrain(self, shard) -> None:
+        try:
+            new_engine, snapshot_seq = self._rebuild(shard)
+        except Exception:
+            with shard.lock:
+                shard.retraining = False
+            raise
+        shard.complete_retrain(new_engine, snapshot_seq)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for in-flight background retrains (None blocks indefinitely)."""
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout)
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    # ------------------------------------------------------------- statistics
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "inserts_applied": self.inserts_applied,
+            "removes_applied": self.removes_applied,
+            "retrains_triggered": self.retrains_triggered,
+            "retrain_threshold": self.retrain_threshold,
+            "background": self.background,
+            "pending_inserted": sum(len(s.inserted) for s in self._shards),
+            "masked_removed": sum(len(s.removed) for s in self._shards),
+        }

@@ -7,6 +7,7 @@ from repro.simulation.perf import (
     evaluate_classifier,
     evaluate_classifier_batched,
     evaluate_nuevomatch,
+    evaluate_sharded,
     speedup,
 )
 from repro.simulation.vectorization import (
@@ -26,6 +27,7 @@ __all__ = [
     "evaluate_classifier",
     "evaluate_classifier_batched",
     "evaluate_nuevomatch",
+    "evaluate_sharded",
     "speedup",
     "SUBMODEL_SCALAR_OPS",
     "VECTOR_WIDTHS",

@@ -31,6 +31,7 @@ __all__ = [
     "evaluate_classifier",
     "evaluate_classifier_batched",
     "evaluate_nuevomatch",
+    "evaluate_sharded",
     "speedup",
 ]
 
@@ -238,6 +239,64 @@ def evaluate_nuevomatch(
         throughput_pps=throughput,
         breakdown=breakdown,
         extra=extra,
+    )
+
+
+def evaluate_sharded(
+    sharded,
+    trace: Trace | Iterable,
+    cost_model: CostModel | None = None,
+    batch_size: int = 128,
+    max_packets: int | None = None,
+) -> PerfReport:
+    """Evaluate a :class:`~repro.serving.ShardedEngine` on a trace.
+
+    Shards run on separate cores, so a batch's modelled latency is the
+    *maximum* over the shards' batch latencies (each priced on that shard's
+    aggregated :class:`LookupTrace` against that shard's structures) plus the
+    same per-packet synchronisation overhead as the two-core NuevoMatch
+    pipeline.  Throughput is packets over total time — the shard-count
+    scaling knob the paper's multi-core evaluation turns.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    cost_model = cost_model or CostModel()
+    packets = list(trace)[: max_packets or None]
+    shard_classifiers = [
+        shard.engine.classifier for shard in sharded._shards
+    ]
+    total = LatencyBreakdown()
+    num_batches = 0
+    for start in range(0, len(packets), batch_size):
+        chunk = packets[start : start + batch_size]
+        per_shard = sharded.classify_batch_per_shard(chunk)
+        slowest = LatencyBreakdown()
+        for classifier, results in zip(shard_classifiers, per_shard):
+            aggregate = LookupTrace.aggregate(result.trace for result in results)
+            latency = cost_model.classifier_lookup_latency(classifier, aggregate)
+            if latency.total_ns > slowest.total_ns:
+                slowest = latency
+        total = total.merge(slowest).merge(
+            LatencyBreakdown(hash_ns=SYNC_OVERHEAD_NS * len(chunk))
+        )
+        num_batches += 1
+    breakdown = total.scaled(1.0 / len(packets)) if packets else LatencyBreakdown()
+    avg_latency = breakdown.total_ns if packets else 0.0
+    throughput = 1.0 / (avg_latency * 1e-9) if avg_latency > 0 else 0.0
+    return PerfReport(
+        classifier=f"sharded[{sharded.num_shards}]",
+        trace=getattr(trace, "name", "trace"),
+        cores=sharded.num_shards,
+        packets=len(packets),
+        avg_latency_ns=avg_latency,
+        throughput_pps=throughput,
+        breakdown=breakdown,
+        extra={
+            "batch_size": batch_size,
+            "num_batches": num_batches,
+            "num_shards": sharded.num_shards,
+            "shard_sizes": sharded.shard_sizes(),
+        },
     )
 
 

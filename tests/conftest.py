@@ -9,11 +9,17 @@ larger scales.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.core.nuevomatch import NuevoMatch
 from repro.rules import generate_classbench, generate_stanford_backbone
 
 from _helpers import fast_nm_config
+
+# CI runners are noisy: hypothesis's default 200 ms per-example deadline turns
+# scheduler hiccups into spurious failures (assertions still fail loudly).
+settings.register_profile("repro", deadline=None, print_blob=True)
+settings.load_profile("repro")
 
 
 @pytest.fixture(scope="session")

@@ -77,3 +77,29 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "speedup:" in out
         assert "nm(tm)" in out
+
+
+class TestServe:
+    def test_serve_builds_and_reports_throughput(self, ruleset_file, capsys):
+        assert main(["serve", str(ruleset_file), "--shards", "2",
+                     "--classifier", "tm", "--executor", "serial",
+                     "--packets", "100", "--batch-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded[2]" in out
+        assert "modelled throughput Mpps" in out
+
+    def test_serve_saves_and_reloads_snapshot(self, ruleset_file, tmp_path, capsys):
+        snapshot = tmp_path / "sharded.json.gz"
+        assert main(["serve", str(ruleset_file), "--shards", "3",
+                     "--classifier", "tm", "--executor", "serial",
+                     "--packets", "50", "--save", str(snapshot)]) == 0
+        assert snapshot.exists()
+        capsys.readouterr()
+        assert main(["serve", str(snapshot), "--executor", "serial",
+                     "--packets", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded[3]" in out
+
+    def test_serve_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "x.txt", "--executor", "gpu"])

@@ -1,0 +1,115 @@
+"""Differential conformance suite.
+
+Every registered classifier — and the sharded serving layer at several shard
+counts — must agree with :class:`LinearSearchClassifier` ground truth on the
+same packet sets.  Generated rule-sets assign unique priorities (ClassBench
+convention: position order), so agreement is checked on exact rule identity,
+not just priority.
+"""
+
+import random
+
+import pytest
+
+from repro.classifiers import available_classifiers, build_classifier
+from repro.classifiers.linear import LinearSearchClassifier
+from repro.core.nuevomatch import NuevoMatch
+from repro.engine import ClassificationEngine
+from repro.serving import ShardedEngine
+
+from _helpers import fast_nm_config
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _packets_for(ruleset, matching=100, uniform=50, seed=33):
+    """Rule-matching samples plus uniform-random packets (likely misses)."""
+    packets = list(ruleset.sample_packets(matching, seed=seed))
+    rng = random.Random(seed + 1)
+    packets.extend(
+        tuple(rng.randint(0, spec.max_value) for spec in ruleset.schema)
+        for _ in range(uniform)
+    )
+    return packets
+
+
+def _keys(results):
+    return [
+        None if result.rule is None else (result.rule.priority, result.rule.rule_id)
+        for result in results
+    ]
+
+
+def _build(name, ruleset):
+    if name == "nm":
+        return NuevoMatch.build(
+            ruleset, remainder_classifier="tm", config=fast_nm_config()
+        )
+    return build_classifier(name, ruleset)
+
+
+@pytest.fixture(scope="module", params=["acl_small", "fw_small"])
+def conformance_ruleset(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestRegisteredClassifiers:
+    @pytest.mark.parametrize("name", available_classifiers())
+    def test_agrees_with_linear_ground_truth(self, name, conformance_ruleset):
+        ruleset = conformance_ruleset
+        oracle = LinearSearchClassifier.build(ruleset)
+        classifier = _build(name, ruleset)
+        packets = _packets_for(ruleset)
+        assert _keys(classifier.classify_batch(packets)) == _keys(
+            oracle.classify_batch(packets)
+        )
+
+
+class TestShardedEngine:
+    @pytest.fixture(scope="class")
+    def unsharded_tm(self, acl_small):
+        return ClassificationEngine.build(acl_small, classifier="tm")
+
+    @pytest.fixture(scope="class")
+    def unsharded_nm(self, acl_small):
+        return ClassificationEngine.build(
+            acl_small,
+            classifier="nm",
+            remainder_classifier="tm",
+            config=fast_nm_config(),
+        )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_tm_shards_identical_to_unsharded(self, shards, acl_small, unsharded_tm):
+        packets = _packets_for(acl_small)
+        with ShardedEngine.build(
+            acl_small, shards=shards, classifier="tm"
+        ) as sharded:
+            assert _keys(sharded.classify_batch(packets)) == _keys(
+                unsharded_tm.classify_batch(packets)
+            )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_nm_shards_identical_to_unsharded(self, shards, acl_small, unsharded_nm):
+        packets = _packets_for(acl_small)
+        with ShardedEngine.build(
+            acl_small,
+            shards=shards,
+            classifier="nm",
+            remainder_classifier="tm",
+            config=fast_nm_config(),
+        ) as sharded:
+            assert _keys(sharded.classify_batch(packets)) == _keys(
+                unsharded_nm.classify_batch(packets)
+            )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_agrees_with_linear_ground_truth(self, shards, acl_small):
+        oracle = LinearSearchClassifier.build(acl_small)
+        packets = _packets_for(acl_small)
+        with ShardedEngine.build(
+            acl_small, shards=shards, classifier="tm", executor="serial"
+        ) as sharded:
+            assert _keys(sharded.classify_batch(packets)) == _keys(
+                oracle.classify_batch(packets)
+            )

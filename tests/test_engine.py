@@ -119,6 +119,17 @@ class TestEngineFacade:
         with pytest.raises(ValueError):
             engine.serve([], batch_size=0)
 
+    def test_batch_report_counts_matches_once(self, engine, acl_small):
+        from repro.engine import BatchReport
+
+        packets = acl_small.sample_packets(20, seed=29)
+        report = BatchReport(engine.classify_batch(packets))
+        assert report.matched == 20
+        # The count is computed at construction, not by re-scanning the
+        # results on every access: mutating the list must not change it.
+        report.results.clear()
+        assert report.matched == 20
+
     def test_statistics_carry_metadata(self, engine):
         stats = engine.statistics()
         assert stats["engine_metadata"] == {"origin": "test"}
@@ -218,6 +229,42 @@ class TestPersistence:
         document["format"] = 999
         path.write_text(json.dumps(document))
         with pytest.raises(ValueError, match="unsupported engine file format"):
+            ClassificationEngine.load(path)
+
+    @pytest.mark.parametrize("mutated", [999, 0, None, "1"])
+    def test_load_rejects_mutated_classifier_state_version(
+        self, mutated, acl_small, tmp_path
+    ):
+        # A snapshot whose *inner* classifier state carries a different
+        # version tag must fail loudly instead of silently misloading.
+        import json
+
+        engine = ClassificationEngine.build(acl_small, classifier="tm")
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        document = json.loads(path.read_text())
+        document["classifier"]["format"] = mutated
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported classifier state format"):
+            ClassificationEngine.load(path)
+
+    def test_load_rejects_mutated_nuevomatch_state_version(
+        self, acl_small, tmp_path
+    ):
+        import json
+
+        engine = ClassificationEngine.build(
+            acl_small,
+            classifier="nm",
+            remainder_classifier="tm",
+            config=fast_nm_config(),
+        )
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        document = json.loads(path.read_text())
+        document["classifier"]["format"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported classifier state format"):
             ClassificationEngine.load(path)
 
     def test_state_rejects_wrong_kind(self, acl_small):

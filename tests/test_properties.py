@@ -1,19 +1,26 @@
 """Property-based tests (hypothesis) for the core data structures and invariants."""
 
+import io
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import RQRMIConfig
-from repro.core.isets import max_independent_set, partition_isets
+from repro.core.isets import max_independent_set, partition_isets, partition_shards
 from repro.core.rqrmi import RQRMI, RangeSet
 from repro.core.submodel import Submodel
 from repro.rules.fields import (
     FIVE_TUPLE,
+    int_to_ip,
+    ip_to_int,
+    merge_ranges,
+    prefix_length_of_range,
     prefix_to_range,
     range_is_prefix,
     range_to_prefixes,
 )
+from repro.rules.parser import parse_classbench_lines, write_classbench_file
 from repro.rules.rule import Rule, RuleSet
 
 # ----------------------------------------------------------------- strategies
@@ -58,6 +65,36 @@ def random_ruleset(draw, max_rules=25):
     return RuleSet(rules, FIVE_TUPLE)
 
 
+@st.composite
+def classbench_rule(draw, index=0):
+    """A rule expressible in the ClassBench text format: prefix IPs, arbitrary
+    port ranges, exact-or-wildcard protocol."""
+    ranges = []
+    for _ in range(2):
+        ranges.append(
+            prefix_to_range(draw(st.integers(0, 0xFFFFFFFF)), draw(st.integers(0, 32)))
+        )
+    for _ in range(2):
+        lo = draw(st.integers(0, 65535))
+        ranges.append((lo, draw(st.integers(lo, 65535))))
+    ranges.append(
+        draw(
+            st.one_of(
+                st.just((0, 255)),
+                st.integers(0, 255).map(lambda value: (value, value)),
+            )
+        )
+    )
+    return Rule(tuple(ranges), priority=index, action=f"a{index}", rule_id=index)
+
+
+@st.composite
+def classbench_ruleset(draw, max_rules=15):
+    count = draw(st.integers(1, max_rules))
+    rules = [draw(classbench_rule(index=i)) for i in range(count)]
+    return RuleSet(rules, FIVE_TUPLE)
+
+
 # ----------------------------------------------------------------- field properties
 
 
@@ -79,6 +116,79 @@ class TestPrefixProperties:
         assert pieces[0][0] == lo and pieces[-1][1] == hi
         for (alo, ahi), (blo, bhi) in zip(pieces[:-1], pieces[1:]):
             assert blo == ahi + 1
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 32))
+    def test_prefix_length_round_trip(self, value, length):
+        lo, hi = prefix_to_range(value, length)
+        assert prefix_length_of_range(lo, hi) == length
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_ip_text_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(ranges_16bit)
+    def test_merge_ranges_preserves_membership(self, ranges):
+        merged = merge_ranges(ranges)
+        # Sorted, disjoint and non-adjacent...
+        for (alo, ahi), (blo, bhi) in zip(merged[:-1], merged[1:]):
+            assert blo > ahi + 1
+        # ...and the union of values is unchanged (spot-check the endpoints
+        # and midpoints of every input range).
+        def covered(value, intervals):
+            return any(lo <= value <= hi for lo, hi in intervals)
+
+        for lo, hi in ranges:
+            for value in (lo, hi, (lo + hi) // 2):
+                assert covered(value, merged)
+        for lo, hi in merged:
+            assert covered(lo, ranges) and covered(hi, ranges)
+
+
+# ----------------------------------------------------------------- parser properties
+
+
+class TestParserProperties:
+    """Round-trip identities for the ClassBench text format."""
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(classbench_ruleset())
+    def test_serialize_parse_identity(self, ruleset):
+        buffer = io.StringIO()
+        write_classbench_file(ruleset, buffer)
+        parsed = parse_classbench_lines(buffer.getvalue().splitlines())
+        assert len(parsed) == len(ruleset)
+        # write_classbench_file emits priority order; our priorities are the
+        # positions, so rule i round-trips to rule i with identical ranges.
+        for original, restored in zip(ruleset, parsed):
+            assert restored.ranges == original.ranges
+            assert restored.priority == original.priority
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(classbench_ruleset())
+    def test_parse_serialize_parse_is_stable(self, ruleset):
+        first_buffer = io.StringIO()
+        write_classbench_file(ruleset, first_buffer)
+        first = parse_classbench_lines(first_buffer.getvalue().splitlines())
+        second_buffer = io.StringIO()
+        write_classbench_file(first, second_buffer)
+        assert second_buffer.getvalue() == first_buffer.getvalue()
+        second = parse_classbench_lines(second_buffer.getvalue().splitlines())
+        assert [rule.ranges for rule in second] == [rule.ranges for rule in first]
+        assert [rule.priority for rule in second] == [rule.priority for rule in first]
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(classbench_ruleset())
+    def test_round_trip_preserves_match_semantics(self, ruleset):
+        buffer = io.StringIO()
+        write_classbench_file(ruleset, buffer)
+        parsed = parse_classbench_lines(buffer.getvalue().splitlines())
+        packet = ruleset.sample_packets(1, seed=9)[0]
+        original = ruleset.match(packet)
+        restored = parsed.match(packet)
+        assert (original is None) == (restored is None)
+        if original is not None:
+            assert restored.priority == original.priority
+            assert restored.ranges == original.ranges
 
 
 # ----------------------------------------------------------------- rule-set properties
@@ -121,6 +231,16 @@ class TestISetProperties:
             ranges = sorted(rule.ranges[dim] for rule in chosen)
             for (alo, ahi), (blo, bhi) in zip(ranges[:-1], ranges[1:]):
                 assert ahi < blo
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_ruleset(), st.integers(1, 4))
+    def test_partition_shards_is_disjoint_cover(self, ruleset, num_shards):
+        num_shards = min(num_shards, len(ruleset))
+        shards = partition_shards(ruleset, num_shards)
+        assert len(shards) == num_shards
+        ids = sorted(rule.rule_id for shard in shards for rule in shard)
+        assert ids == sorted(rule.rule_id for rule in ruleset)
+        assert all(shard for shard in shards)
 
     @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
     @given(random_ruleset())

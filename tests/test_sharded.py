@@ -1,0 +1,327 @@
+"""Tests for the sharded serving layer: partitioning, fan-out, updates,
+background retraining and persistence."""
+
+import random
+
+import pytest
+
+from repro.core.isets import partition_shards
+from repro.engine import ClassificationEngine
+from repro.rules.rule import Rule
+from repro.serving import (
+    DEFAULT_RETRAIN_THRESHOLD,
+    ShardedEngine,
+    partition_for_shards,
+)
+
+from _helpers import fast_nm_config
+
+
+def _key(rule):
+    return None if rule is None else (rule.priority, rule.rule_id)
+
+
+def _keys(results):
+    return [_key(result.rule) for result in results]
+
+
+def _wildcard(schema, priority, rule_id):
+    return Rule(
+        tuple(spec.full_range() for spec in schema),
+        priority=priority,
+        action="drop",
+        rule_id=rule_id,
+    )
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("strategy", ["auto", "isets", "round-robin"])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_disjoint_cover(self, acl_small, strategy, shards):
+        parts = partition_for_shards(acl_small, shards, strategy)
+        assert len(parts) == shards
+        ids = [rule.rule_id for part in parts for rule in part]
+        assert sorted(ids) == sorted(rule.rule_id for rule in acl_small)
+        assert all(len(part) > 0 for part in parts)
+
+    def test_iset_chunking_balances_shards(self, acl_small):
+        sizes = [len(part) for part in partition_shards(acl_small, 4)]
+        target = -(-len(acl_small) // 4)
+        # Chunked iSets keep every shard within 2x of the ideal share.
+        assert max(sizes) <= 2 * target
+
+    def test_rejects_bad_inputs(self, acl_small):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            partition_for_shards(acl_small, 2, "bogus")
+        with pytest.raises(ValueError):
+            partition_for_shards(acl_small, 0)
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_for_shards(acl_small, len(acl_small) + 1)
+
+
+class TestServing:
+    @pytest.fixture(scope="class")
+    def unsharded(self, acl_small):
+        return ClassificationEngine.build(acl_small, classifier="tm")
+
+    @pytest.fixture(scope="class")
+    def sharded(self, acl_small):
+        with ShardedEngine.build(acl_small, shards=3, classifier="tm") as engine:
+            yield engine
+
+    def test_empty_batch(self, sharded):
+        assert sharded.classify_batch([]) == []
+
+    def test_thread_and_serial_executors_agree(self, acl_small, unsharded):
+        packets = acl_small.sample_packets(100, seed=51)
+        expected = _keys(unsharded.classify_batch(packets))
+        for executor in ("serial", "thread"):
+            with ShardedEngine.build(
+                acl_small, shards=3, classifier="tm", executor=executor
+            ) as engine:
+                assert _keys(engine.classify_batch(packets)) == expected
+
+    def test_process_executor_agrees(self, acl_small, unsharded):
+        packets = acl_small.sample_packets(40, seed=52)
+        expected = _keys(unsharded.classify_batch(packets))
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="linear", executor="process"
+        ) as engine:
+            assert _keys(engine.classify_batch(packets)) == expected
+
+    def test_merged_trace_sums_shard_work(self, sharded, acl_small):
+        packet = acl_small.sample_packets(1, seed=53)[0]
+        per_shard = sharded.classify_batch_per_shard([packet])
+        merged = sharded.classify_traced(packet)
+        assert merged.trace.total_accesses == sum(
+            results[0].trace.total_accesses for results in per_shard
+        )
+        assert merged.trace.total_accesses > 0
+
+    def test_serve_batches_cover_all_packets(self, sharded, acl_small):
+        packets = acl_small.sample_packets(70, seed=54)
+        reports = list(sharded.serve(packets, batch_size=32))
+        assert [len(report) for report in reports] == [32, 32, 6]
+        assert sum(report.matched for report in reports) == 70
+        with pytest.raises(ValueError):
+            sharded.serve([], batch_size=0)
+
+    def test_verify_against_linear(self, sharded, acl_small):
+        assert sharded.verify(acl_small.sample_packets(50, seed=55)) == 50
+
+    def test_statistics_and_footprint(self, sharded):
+        stats = sharded.statistics()
+        assert stats["num_shards"] == 3
+        assert len(stats["shards"]) == 3
+        assert stats["num_rules"] == sum(s["live_rules"] for s in stats["shards"])
+        assert sharded.memory_footprint().total_bytes > 0
+
+    def test_rejects_bad_config(self, acl_small):
+        with pytest.raises(ValueError, match="unknown executor"):
+            ShardedEngine.build(acl_small, shards=2, classifier="tm", executor="gpu")
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedEngine([])
+
+    def test_rejects_duplicate_rule_ids(self, acl_small):
+        engine = ClassificationEngine.build(acl_small, classifier="linear")
+        with pytest.raises(ValueError, match="more than one shard"):
+            ShardedEngine([engine, engine])
+
+
+class TestUpdates:
+    @pytest.fixture()
+    def engine(self, acl_small):
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="tm",
+            executor="serial",
+            background_retraining=False,
+            retrain_threshold=0.95,
+        ) as engine:
+            yield engine
+
+    def test_insert_wins_immediately(self, engine, acl_small):
+        packet = acl_small.sample_packets(1, seed=61)[0]
+        engine.insert(_wildcard(acl_small.schema, priority=-1, rule_id=70_000))
+        assert engine.classify(packet).rule_id == 70_000
+
+    def test_remove_masks_immediately(self, engine, acl_small):
+        packet = acl_small.sample_packets(1, seed=62)[0]
+        victim = engine.classify(packet)
+        assert engine.remove(victim.rule_id)
+        follow_up = engine.classify(packet)
+        assert follow_up is None or follow_up.rule_id != victim.rule_id
+        assert not engine.remove(victim.rule_id)  # already gone
+
+    def test_modify_replaces_on_owning_shard(self, engine, acl_small):
+        packet = acl_small.sample_packets(1, seed=63)[0]
+        victim = engine.classify(packet)
+        owner = engine.updates.owner_of(victim.rule_id)
+        modified = Rule(
+            tuple(spec.full_range() for spec in acl_small.schema),
+            priority=victim.priority,
+            action="modified",
+            rule_id=victim.rule_id,
+        )
+        engine.insert(modified)
+        assert engine.updates.owner_of(victim.rule_id) == owner
+        hit = engine.classify(packet)
+        assert hit.rule_id == victim.rule_id
+        assert hit.action == "modified"
+
+    def test_insert_goes_to_smallest_shard(self, engine, acl_small):
+        sizes_before = engine.shard_sizes()
+        smallest = sizes_before.index(min(sizes_before))
+        engine.insert(_wildcard(acl_small.schema, priority=10_000, rule_id=70_001))
+        assert engine.updates.owner_of(70_001) == smallest
+        assert engine.shard_sizes()[smallest] == sizes_before[smallest] + 1
+
+    def test_differential_after_random_churn(self, engine, acl_small):
+        rng = random.Random(64)
+        next_id = 80_000
+        for _ in range(30):
+            if rng.random() < 0.5:
+                template = rng.choice(acl_small.rules)
+                engine.insert(
+                    Rule(
+                        template.ranges,
+                        priority=rng.randint(0, 1000),
+                        action="churn",
+                        rule_id=next_id,
+                    )
+                )
+                next_id += 1
+            else:
+                victim = rng.choice(acl_small.rules)
+                engine.remove(victim.rule_id)
+        oracle = engine.ruleset  # live rules; RuleSet.match is ground truth
+        for packet in acl_small.sample_packets(80, seed=65):
+            assert _key(engine.classify(packet)) == _key(oracle.match(packet))
+
+
+class TestRetraining:
+    def test_inline_retrain_folds_overlay(self, acl_small):
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="linear",
+            executor="serial",
+            background_retraining=False,
+            retrain_threshold=0.05,
+        ) as engine:
+            for index in range(40):
+                template = acl_small.rules[index]
+                engine.insert(
+                    Rule(template.ranges, template.priority, "new", 90_000 + index)
+                )
+            assert engine.updates.retrains_triggered > 0
+            stats = engine.statistics()
+            assert sum(s["retrain_count"] for s in stats["shards"]) > 0
+            # Retraining folded the overlay below the trigger threshold.
+            for shard_stats in stats["shards"]:
+                assert shard_stats["remainder_fraction"] < 1.0
+            assert engine.verify(acl_small.sample_packets(60, seed=71)) == 60
+
+    def test_background_retrain_swaps_atomically(self, acl_small):
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="linear",
+            executor="serial",
+            background_retraining=True,
+            retrain_threshold=0.05,
+        ) as engine:
+            for index in range(30):
+                template = acl_small.rules[index]
+                engine.insert(
+                    Rule(template.ranges, template.priority, "new", 91_000 + index)
+                )
+            engine.updates.join()
+            assert engine.updates.retrains_triggered > 0
+            assert sum(s.retrain_count for s in engine._shards) > 0
+            assert engine.verify(acl_small.sample_packets(60, seed=72)) == 60
+
+    def test_default_threshold_matches_paper(self):
+        assert DEFAULT_RETRAIN_THRESHOLD == 0.5
+
+    def test_retrain_preserves_remainder_build_params(self, acl_small):
+        # A NuevoMatch shard's rebuilt remainder must keep the operator's
+        # parameters (e.g. a non-default binth), not revert to defaults.
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="nm",
+            executor="serial",
+            background_retraining=False,
+            retrain_threshold=0.05,
+            remainder_classifier="hicuts",
+            config=fast_nm_config(),
+            binth=4,
+        ) as engine:
+            for index in range(30):
+                template = acl_small.rules[index]
+                engine.insert(
+                    Rule(template.ranges, template.priority, "new", 92_000 + index)
+                )
+            assert engine.updates.retrains_triggered > 0
+            for shard in engine._shards:
+                if shard.retrain_count:
+                    assert shard.engine.classifier.remainder.build_params == {
+                        "binth": 4
+                    }
+
+
+class TestPersistence:
+    def test_round_trip_with_overlay(self, acl_small, tmp_path):
+        with ShardedEngine.build(
+            acl_small,
+            shards=3,
+            classifier="tm",
+            executor="serial",
+            background_retraining=False,
+            retrain_threshold=0.95,
+        ) as engine:
+            engine.insert(_wildcard(acl_small.schema, priority=-1, rule_id=95_000))
+            victim = acl_small.rules[10]
+            assert engine.remove(victim.rule_id)
+            path = tmp_path / "sharded.json.gz"
+            engine.save(path)
+            packets = acl_small.sample_packets(80, seed=81)
+            expected = _keys(engine.classify_batch(packets))
+        with ShardedEngine.load(path, executor="serial") as restored:
+            assert restored.num_shards == 3
+            assert _keys(restored.classify_batch(packets)) == expected
+            # Overlay state survives: the insert is live, the victim is not.
+            assert restored.updates.owner_of(95_000) is not None
+            assert restored.updates.owner_of(victim.rule_id) is None
+
+    def test_load_rejects_future_format(self, acl_small, tmp_path):
+        import json
+
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="linear", executor="serial"
+        ) as engine:
+            path = tmp_path / "sharded.json"
+            engine.save(path)
+        document = json.loads(path.read_text())
+        document["format"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported sharded-engine file format"):
+            ShardedEngine.load(path)
+
+    def test_load_rejects_plain_engine_file(self, acl_small, tmp_path):
+        engine = ClassificationEngine.build(acl_small, classifier="linear")
+        path = tmp_path / "plain.json"
+        engine.save(path)
+        with pytest.raises(ValueError, match="not a sharded-engine snapshot"):
+            ShardedEngine.load(path)
+
+    def test_engine_load_rejects_sharded_file(self, acl_small, tmp_path):
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="linear", executor="serial"
+        ) as engine:
+            path = tmp_path / "sharded.json"
+            engine.save(path)
+        with pytest.raises(ValueError):
+            ClassificationEngine.load(path)
