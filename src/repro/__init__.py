@@ -36,6 +36,9 @@ Subsystems:
   as comparison points and as remainder-set indexes: linear search, Tuple
   Space Search, TupleMerge, HiCuts, CutSplit, and a NeuroCuts-style tree.
 * :mod:`repro.traffic` — packet traces: uniform, Zipf-skewed and CAIDA-like.
+* :mod:`repro.workloads` — end-to-end scenario replay: drive any generated
+  trace through any engine (cached/uncached, 1..N shards) and report hit
+  rate, throughput and latency percentiles (``repro replay`` on the CLI).
 * :mod:`repro.simulation` — cache-hierarchy and memory-access cost model used
   to reproduce the paper's throughput/latency-shaped experiments, including
   batch-level accounting (:func:`repro.simulation.evaluate_classifier_batched`).
@@ -65,9 +68,9 @@ from repro.core import (
     partition_isets,
 )
 from repro.engine import ClassificationEngine
-from repro.serving import ShardedEngine, UpdateQueue
+from repro.serving import CachedEngine, FlowCache, ShardedEngine, UpdateQueue
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FieldSchema",
@@ -79,6 +82,8 @@ __all__ = [
     "ClassificationEngine",
     "ShardedEngine",
     "UpdateQueue",
+    "FlowCache",
+    "CachedEngine",
     "available_classifiers",
     "build_classifier",
     "register",

@@ -18,6 +18,12 @@ Commands:
   :class:`~repro.serving.ShardedEngine` over a rule-set (``--shards N``), run
   a generated trace through the worker pool, and report measured plus
   modelled throughput; ``--save`` persists all shards to one snapshot.
+* ``replay``   — end-to-end scenario replay: drive a §5.1.1 trace
+  (``--trace {uniform,zipf,caida}``, ``--skew`` for the Figure-12 Zipf
+  settings) through any engine configuration (``--shards N``,
+  ``--cache-size K`` for the exact-match flow cache) and report hit rate,
+  measured throughput, p50/p99 latency and the cache-aware modelled latency.
+  Without ``--ruleset`` a synthetic ClassBench rule-set is generated.
 
 Classifier choice lists are generated from the registry
 (:func:`repro.classifiers.available_classifiers`), so newly registered
@@ -51,7 +57,8 @@ from repro.simulation import (
     evaluate_sharded,
     speedup,
 )
-from repro.traffic import generate_uniform_trace
+from repro.traffic import ZIPF_ALPHAS, generate_uniform_trace
+from repro.workloads import TRACE_KINDS, run_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -135,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--batch-size", type=int, default=128)
     sharded.add_argument("--seed", type=int, default=1)
     sharded.add_argument("--save", help="persist the sharded engine to this path")
+
+    replay = sub.add_parser(
+        "replay", help="replay a generated trace through the serving stack"
+    )
+    replay.add_argument("--ruleset",
+                        help="ClassBench-format rule-set file (default: generate "
+                             "a synthetic one, see --application/--rules)")
+    replay.add_argument("--application", default="acl1",
+                        choices=list(CLASSBENCH_APPLICATIONS))
+    replay.add_argument("--rules", type=int, default=2000,
+                        help="synthetic rule count when no --ruleset is given")
+    replay.add_argument("--trace", default="zipf", choices=list(TRACE_KINDS))
+    replay.add_argument("--skew", type=int, default=95,
+                        choices=sorted(ZIPF_ALPHAS),
+                        help="Zipf top-3%%-flow traffic share (Figure 12)")
+    replay.add_argument("--packets", type=int, default=20_000)
+    replay.add_argument("--cache-size", type=int, default=0,
+                        help="flow-cache entries; 0 serves uncached")
+    replay.add_argument("--shards", type=int, default=1)
+    replay.add_argument("--classifier", default="tm",
+                        choices=available_classifiers(),
+                        help="per-shard classifier (tm by default so replay "
+                             "measures serving, not RQ-RMI training)")
+    replay.add_argument("--remainder", default="tm", choices=_baseline_choices())
+    replay.add_argument("--error-threshold", type=int, default=64)
+    replay.add_argument("--executor", default="thread", choices=list(EXECUTORS))
+    replay.add_argument("--batch-size", type=int, default=128)
+    replay.add_argument("--seed", type=int, default=1)
+    replay.add_argument("--json", action="store_true",
+                        help="emit the report as one JSON line instead of a table")
     return parser
 
 
@@ -325,7 +362,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     path = str(args.ruleset)
     if path.endswith((".json", ".json.gz")):
-        sharded = ShardedEngine.load(path, executor=args.executor)
+        import json
+
+        try:
+            sharded = ShardedEngine.load(path, executor=args.executor)
+        except json.JSONDecodeError:
+            print(
+                f"error: {path} is not a sharded-engine snapshot (rule-set "
+                "files must not use a .json/.json.gz extension)",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            "serving from snapshot: --shards/--classifier/--partitioner/"
+            "--retrain-threshold come from the snapshot",
+            file=sys.stderr,
+        )
     else:
         ruleset = parse_classbench_file(args.ruleset)
         params = {}
@@ -383,12 +435,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    if args.ruleset:
+        ruleset = parse_classbench_file(args.ruleset)
+    else:
+        ruleset = generate_classbench(args.application, args.rules, seed=args.seed)
+    params = {}
+    if args.classifier == "nm":
+        params = {
+            "remainder_classifier": args.remainder,
+            "config": _nm_config(args.error_threshold),
+        }
+    report = run_scenario(
+        ruleset,
+        trace_kind=args.trace,
+        num_packets=args.packets,
+        skew=args.skew,
+        shards=args.shards,
+        cache_size=args.cache_size,
+        classifier=args.classifier,
+        executor=args.executor,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        **params,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+        return 0
+    trace_label = (
+        f"{args.trace}-{args.skew}" if args.trace == "zipf" else args.trace
+    )
+    print(format_kv(
+        {
+            "trace": trace_label,
+            "ruleset": f"{ruleset.name} ({len(ruleset)} rules)",
+            "shards": report.shards,
+            "cache size": report.cache_size,
+            "packets": report.packets,
+            "matched": report.matched,
+            "cache hit rate": f"{report.hit_rate:.1%}",
+            "measured kpps": round(report.throughput_pps / 1e3, 1),
+            "latency p50 ns/pkt": round(report.latency_p50_ns, 1),
+            "latency p99 ns/pkt": round(report.latency_p99_ns, 1),
+            "modelled latency ns/pkt": round(report.modelled_latency_ns, 1),
+            "modelled throughput Mpps": round(
+                report.modelled_throughput_pps / 1e6, 3
+            ),
+        },
+        title=f"replay {trace_label} through {report.engine}",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "build": _cmd_build,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
+    "replay": _cmd_replay,
 }
 
 _ENGINE_COMMANDS = {

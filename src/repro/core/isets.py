@@ -146,6 +146,7 @@ def partition_shards(
     ruleset: RuleSet,
     num_shards: int,
     min_coverage: float = 0.0,
+    partition: PartitionResult | None = None,
 ) -> list[list[Rule]]:
     """Split a rule-set into ``num_shards`` balanced, iSet-aware groups.
 
@@ -166,6 +167,10 @@ def partition_shards(
         ruleset: The input rules.
         num_shards: Number of groups, ``1 <= num_shards <= len(ruleset)``.
         min_coverage: Forwarded to :func:`partition_isets`.
+        partition: A precomputed :func:`partition_isets` result over
+            ``ruleset``; passing one skips the (expensive) recomputation when
+            the caller already partitioned the rules, e.g. to choose a
+            strategy.  ``min_coverage`` is ignored in that case.
 
     Returns:
         ``num_shards`` non-empty rule lists.
@@ -179,7 +184,8 @@ def partition_shards(
     if num_shards == 1:
         return [list(ruleset.rules)]
 
-    partition = partition_isets(ruleset, min_coverage=min_coverage)
+    if partition is None:
+        partition = partition_isets(ruleset, min_coverage=min_coverage)
     shards: list[list[Rule]] = [[] for _ in range(num_shards)]
     target = -(-len(ruleset) // num_shards)  # ceil division
 

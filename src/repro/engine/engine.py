@@ -32,7 +32,7 @@ from repro.classifiers.base import (
 from repro.classifiers.registry import resolve_classifier
 from repro.engine.serialization import (
     ENGINE_FILE_VERSION,
-    read_engine_file,
+    read_document,
     ruleset_from_state,
     ruleset_to_state,
     write_engine_file,
@@ -267,8 +267,12 @@ class ClassificationEngine:
 
     @classmethod
     def load(cls, path: str | Path) -> "ClassificationEngine":
-        """Restore an engine saved with :meth:`save`."""
-        return cls.from_document(read_engine_file(path))
+        """Restore an engine saved with :meth:`save`.
+
+        The format/kind validation lives in :meth:`from_document` alone, so
+        the raw document is read without a second version check.
+        """
+        return cls.from_document(read_document(path))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

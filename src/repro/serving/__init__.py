@@ -10,12 +10,22 @@ NuevoMatch — by splitting the rule-set across cores::
     sharded.insert(rule)                           # immediate, overlay-based
     sharded.save("acl1.sharded.json.gz")           # all shards, one snapshot
 
+    cached = CachedEngine(sharded, capacity=4096)  # exact-match hot path
+    results = cached.classify_batch(packets)       # probe → miss → fill
+
 See :mod:`repro.serving.sharded` for the engine,
-:mod:`repro.serving.partitioning` for the iSet-aware rule split and
+:mod:`repro.serving.partitioning` for the iSet-aware rule split,
 :mod:`repro.serving.updates` for the online-update / background-retraining
-policy.
+policy and :mod:`repro.serving.flowcache` for the exact-match flow cache that
+exploits the skewed traffic of the paper's §5.1.1 evaluation.
 """
 
+from repro.serving.flowcache import (
+    DEFAULT_CACHE_CAPACITY,
+    CachedEngine,
+    CacheStats,
+    FlowCache,
+)
 from repro.serving.partitioning import PARTITIONERS, partition_for_shards
 from repro.serving.sharded import EXECUTORS, ShardedEngine
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
@@ -23,8 +33,12 @@ from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
 __all__ = [
     "ShardedEngine",
     "UpdateQueue",
+    "FlowCache",
+    "CachedEngine",
+    "CacheStats",
     "partition_for_shards",
     "PARTITIONERS",
     "EXECUTORS",
     "DEFAULT_RETRAIN_THRESHOLD",
+    "DEFAULT_CACHE_CAPACITY",
 ]

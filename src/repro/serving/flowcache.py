@@ -1,0 +1,529 @@
+"""Exact-match flow caching: :class:`FlowCache` and :class:`CachedEngine`.
+
+The paper's skewed-traffic evaluation (§5.1.1, Figure 12) draws traces where
+the 3% most frequent flows carry 80–95% of the packets.  In that regime the
+classic software fast path is an exact-match *flow cache*: the first packet of
+a flow pays the full classification (RQ-RMI inference + remainder search), and
+every later packet of the same five-tuple is answered by one hash probe.
+This module provides that layer for the serving stack:
+
+* :class:`FlowCache` — a numpy-keyed LRU mapping five-tuple keys to
+  classification winners.  Probe and fill operate on whole batches, eviction
+  removes the least-recently-used entries in bulk, and invalidation is a
+  vectorized range-containment scan over the key matrix.
+* :class:`CachedEngine` — fronts any engine exposing ``classify_batch``
+  (:class:`~repro.engine.ClassificationEngine` or
+  :class:`~repro.serving.ShardedEngine`) with a :class:`FlowCache`: probe the
+  batch, classify only the missed flows (each distinct missed flow once), fill,
+  and return results in arrival order — identical matches to the uncached
+  engine.
+
+Consistency contract (eviction before ack)
+------------------------------------------
+
+A cached result may never outlive the rule-set state it was computed from.
+:class:`CachedEngine` therefore registers an invalidation listener with the
+wrapped engine's :class:`~repro.serving.updates.UpdateQueue` (or applies the
+same policy inline for a plain :class:`~repro.engine.ClassificationEngine`):
+
+* ``insert(rule)`` evicts every cached flow whose five-tuple lies inside the
+  new rule's hyper-rectangle (the new rule may now win for those flows, and
+  cached *no-match* entries inside it are stale too), plus any entry cached
+  for a previous version of the same ``rule_id``.
+* ``remove(rule_id)`` evicts every cached flow whose winner was that rule.
+
+Both run *before the update call returns*: once ``insert``/``remove`` is
+acknowledged, a subsequent ``classify`` cannot serve a pre-update cached
+result.  A slow-path fill that raced an update cannot resurrect pre-update
+state either: :class:`CachedEngine` snapshots the cache's invalidation
+*epoch* before classifying misses, and :meth:`FlowCache.fill_batch` drops the
+fill if any invalidation landed in between.  Results already *returned*
+before the ack reflect the old state, exactly as a lookup that raced the
+update would — callers needing a fence must order their lookups after the
+update call returns (the same contract the update queue documents for
+overlays).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.classifiers.base import (
+    HASH_TABLE_OVERHEAD,
+    POINTER_BYTES,
+    ClassificationResult,
+    LookupTrace,
+)
+from repro.rules.rule import Packet, Rule
+
+__all__ = ["DEFAULT_CACHE_CAPACITY", "CacheStats", "FlowCache", "CachedEngine"]
+
+#: Default entry count for CLI/benchmark front-ends (a 4K-flow cache keys
+#: 5 × 8-byte fields per entry, ~224 KB — L2-resident on the paper's machine).
+DEFAULT_CACHE_CAPACITY = 4096
+
+#: ``rule_id`` sentinel stored for a cached *no-match* result.
+_NO_MATCH = -1
+
+
+@dataclass
+class CacheStats:
+    """Aggregate probe/fill/eviction counters of a :class:`FlowCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    dropped_fills: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unused)."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "dropped_fills": self.dropped_fills,
+        }
+
+
+def pack_packets(
+    packets: Sequence[Packet | Sequence[int]], num_fields: int
+) -> np.ndarray:
+    """Batch of packets as a contiguous ``(n, num_fields)`` uint64 key matrix."""
+    arr = np.empty((len(packets), num_fields), dtype=np.uint64)
+    for row, packet in enumerate(packets):
+        arr[row] = packet.values if isinstance(packet, Packet) else tuple(packet)
+    return arr
+
+
+class FlowCache:
+    """An exact-match five-tuple → classification-result LRU cache.
+
+    Entries live in fixed, slot-parallel storage: a ``(capacity, num_fields)``
+    uint64 key matrix, a winner ``rule_id`` vector and a last-used clock vector
+    (all numpy), plus a bytes-key → slot dict for exact probes.  Batch fills
+    evict the *k* least-recently-used entries in one ``argpartition``;
+    invalidation scans the key matrix with vectorized range containment, so
+    update cost does not depend on rule count.
+
+    No-match results are cached too (``rule_id`` sentinel −1): skewed traces
+    repeat unmatched flows as often as matched ones, and the insert-side
+    invalidation evicts any cached no-match the new rule now covers.
+
+    A ``capacity`` of 0 disables the cache: probes always miss, fills are
+    dropped.
+
+    Thread safety: probe, fill, invalidation and clear serialize on an
+    internal lock, so listener-driven invalidation (which runs on the
+    updater's thread) cannot corrupt the slot bookkeeping or hand a probe
+    another flow's entry; the epoch check in :meth:`fill_batch` additionally
+    fences fills whose winners were computed before an invalidation landed.
+    """
+
+    def __init__(self, capacity: int, num_fields: int = 5):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if num_fields < 1:
+            raise ValueError("num_fields must be >= 1")
+        self.capacity = capacity
+        self.num_fields = num_fields
+        self.stats = CacheStats()
+        self._keys = np.zeros((capacity, num_fields), dtype=np.uint64)
+        self._rule_ids = np.full(capacity, _NO_MATCH, dtype=np.int64)
+        self._last_used = np.zeros(capacity, dtype=np.int64)
+        self._occupied = np.zeros(capacity, dtype=bool)
+        self._rules: list[Optional[Rule]] = [None] * capacity
+        self._slot_keys: list[Optional[bytes]] = [None] * capacity
+        self._index: dict[bytes, int] = {}
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._clock = 0
+        self._epoch = 0
+        # Serializes probe/fill against listener-driven invalidation: the
+        # UpdateQueue notifies from the updater's thread, and an unlocked
+        # probe racing _drop_slot/_store could read another flow's slot.
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch: bumped by every invalidate/clear call.
+
+        Snapshot it before computing results on the slow path and pass it to
+        :meth:`fill_batch`: a fill whose epoch is stale (an update was
+        acknowledged while the results were being computed) is dropped rather
+        than re-caching state from before the update.
+        """
+        return self._epoch
+
+    # -------------------------------------------------------------- probe/fill
+
+    def probe_batch(
+        self, keys: np.ndarray, row_bytes: Sequence[bytes] | None = None
+    ) -> tuple[list[Optional[Rule]], np.ndarray]:
+        """Probe a key matrix; returns (per-row cached winners, hit mask).
+
+        The winners list holds the cached :class:`Rule` (or ``None`` for a
+        cached no-match) at hit rows; miss rows hold ``None`` and are
+        distinguished by the mask.  Hit slots' LRU clocks advance together.
+        ``row_bytes`` lets a caller that already serialized the rows (the
+        :class:`CachedEngine` hot path reuses them for miss dedup) skip the
+        per-row ``tobytes``.
+        """
+        n = len(keys)
+        mask = np.zeros(n, dtype=bool)
+        winners: list[Optional[Rule]] = [None] * n
+        if row_bytes is None:
+            row_bytes = [keys[row].tobytes() for row in range(n)]
+        with self._lock:
+            if not self._index:
+                self.stats.misses += n
+                return winners, mask
+            hit_slots: list[int] = []
+            index = self._index
+            for row in range(n):
+                slot = index.get(row_bytes[row])
+                if slot is not None:
+                    mask[row] = True
+                    winners[row] = self._rules[slot]
+                    hit_slots.append(slot)
+            if hit_slots:
+                self._clock += 1
+                self._last_used[hit_slots] = self._clock
+            self.stats.hits += len(hit_slots)
+            self.stats.misses += n - len(hit_slots)
+        return winners, mask
+
+    def fill_batch(
+        self,
+        keys: np.ndarray,
+        winners: Sequence[Optional[Rule]],
+        epoch: int | None = None,
+        row_bytes: Sequence[bytes] | None = None,
+    ) -> None:
+        """Insert (key row, winner) pairs, bulk-evicting LRU entries as needed.
+
+        Duplicate keys within the batch collapse to one entry; keys already
+        cached are refreshed in place.  When the batch brings more new flows
+        than ``capacity``, only the last ``capacity`` of them are kept (they
+        are the most recent fills).
+
+        ``epoch`` is the :attr:`epoch` snapshot taken before the winners were
+        computed.  If an invalidation landed in between, the whole fill is
+        dropped (counted in ``stats.dropped_fills``): the winners may predate
+        an acknowledged update, and caching them would let a post-ack lookup
+        observe pre-update state.
+        """
+        if self.capacity == 0 or not len(keys):
+            return
+        if row_bytes is None:
+            row_bytes = [row.tobytes() for row in keys]
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                self.stats.dropped_fills += 1
+                return
+            fresh: dict[bytes, tuple[np.ndarray, Optional[Rule]]] = {}
+            for row, key, winner in zip(keys, row_bytes, winners):
+                slot = self._index.get(key)
+                if slot is not None:
+                    self._store(slot, row, key, winner, refresh=True)
+                else:
+                    fresh[key] = (row, winner)
+            if len(fresh) > self.capacity:
+                fresh = dict(list(fresh.items())[-self.capacity:])
+            overflow = len(fresh) - len(self._free)
+            if overflow > 0:
+                self._evict_lru(overflow)
+            for key, (row, winner) in fresh.items():
+                self._store(self._free.pop(), row, key, winner, refresh=False)
+
+    def _store(
+        self,
+        slot: int,
+        row: np.ndarray,
+        key: bytes,
+        winner: Optional[Rule],
+        refresh: bool,
+    ) -> None:
+        self._keys[slot] = row
+        self._rule_ids[slot] = winner.rule_id if winner is not None else _NO_MATCH
+        self._rules[slot] = winner
+        self._slot_keys[slot] = key
+        self._occupied[slot] = True
+        self._clock += 1
+        self._last_used[slot] = self._clock
+        if not refresh:
+            self._index[key] = slot
+            self.stats.insertions += 1
+
+    def _evict_lru(self, count: int) -> None:
+        occupied = np.flatnonzero(self._occupied)
+        count = min(count, len(occupied))
+        if count == 0:
+            return
+        if count < len(occupied):
+            oldest = occupied[
+                np.argpartition(self._last_used[occupied], count - 1)[:count]
+            ]
+        else:
+            oldest = occupied
+        for slot in oldest:
+            self._drop_slot(int(slot))
+            self.stats.evictions += 1
+
+    def _drop_slot(self, slot: int) -> None:
+        key = self._slot_keys[slot]
+        assert key is not None
+        del self._index[key]
+        self._slot_keys[slot] = None
+        self._rules[slot] = None
+        self._rule_ids[slot] = _NO_MATCH
+        self._occupied[slot] = False
+        self._free.append(slot)
+
+    # ------------------------------------------------------------ invalidation
+
+    def invalidate_insert(self, rule: Rule) -> int:
+        """Evict entries a newly inserted/replaced ``rule`` could change.
+
+        Every cached flow inside the rule's hyper-rectangle (vectorized
+        containment over the key matrix) plus any entry whose winner carries
+        the same ``rule_id`` (a stale previous version).  Returns the number
+        of evicted entries.
+        """
+        with self._lock:
+            self._epoch += 1
+            if not self._index:
+                return 0
+            lows = np.array([lo for lo, _hi in rule.ranges], dtype=np.uint64)
+            highs = np.array([hi for _lo, hi in rule.ranges], dtype=np.uint64)
+            stale = self._occupied & (
+                ((self._keys >= lows) & (self._keys <= highs)).all(axis=1)
+                | (self._rule_ids == rule.rule_id)
+            )
+            return self._drop_mask(stale)
+
+    def invalidate_remove(self, rule_id: int) -> int:
+        """Evict entries whose cached winner is the removed rule."""
+        with self._lock:
+            self._epoch += 1
+            if not self._index:
+                return 0
+            stale = self._occupied & (self._rule_ids == rule_id)
+            return self._drop_mask(stale)
+
+    def _drop_mask(self, stale: np.ndarray) -> int:
+        slots = np.flatnonzero(stale)
+        for slot in slots:
+            self._drop_slot(int(slot))
+        self.stats.invalidations += len(slots)
+        return len(slots)
+
+    def handle_update(self, op: str, payload) -> None:
+        """:class:`~repro.serving.updates.UpdateQueue` listener entry point."""
+        if op == "insert":
+            self.invalidate_insert(payload)
+        elif op == "remove":
+            self.invalidate_remove(payload)
+        else:  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown update op {op!r}")
+
+    def clear(self) -> int:
+        """Drop every entry (counted as invalidations); returns the count."""
+        with self._lock:
+            self._epoch += 1
+            return self._drop_mask(self._occupied.copy())
+
+    # ----------------------------------------------------------- introspection
+
+    def footprint_bytes(self) -> int:
+        """Size of the cache structures, for cache-hierarchy placement.
+
+        Key matrix + winner ids + LRU clocks + one pointer per slot, plus a
+        fixed table overhead — the quantity the replay harness feeds to
+        :meth:`repro.simulation.CacheHierarchy.access_latency_ns` to price a
+        hit.
+        """
+        per_entry = self.num_fields * 8 + 8 + 8 + POINTER_BYTES
+        return HASH_TABLE_OVERHEAD + self.capacity * per_entry
+
+    def statistics(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._index),
+                "footprint_bytes": self.footprint_bytes(),
+                **self.stats.as_dict(),
+            }
+
+
+def _hit_trace() -> LookupTrace:
+    """Trace of a cache hit: one hash computation plus one slot access.
+
+    A fresh instance per result — :class:`LookupTrace` is a mutable dataclass
+    and results must not alias one another.
+    """
+    return LookupTrace(index_accesses=1, hash_ops=1)
+
+
+class CachedEngine:
+    """A flow cache fronting any batch-serving engine.
+
+    ``classify_batch`` probes the cache, classifies each *distinct* missed
+    five-tuple once through the wrapped engine, fills the cache and returns
+    per-packet results in arrival order.  Matches are identical to the
+    uncached engine; hit results carry the cache's own
+    :class:`~repro.classifiers.base.LookupTrace` (one hash + one access)
+    instead of the full lookup's.
+
+    If the wrapped engine exposes an ``updates``
+    :class:`~repro.serving.updates.UpdateQueue` (the
+    :class:`~repro.serving.ShardedEngine` does), an invalidation listener is
+    registered so *any* update path — including direct calls on the wrapped
+    engine — evicts stale entries before the update is acknowledged.  For a
+    plain :class:`~repro.engine.ClassificationEngine`, route updates through
+    :meth:`insert`/:meth:`remove` on this wrapper, which applies the same
+    eviction-before-ack ordering inline.
+    """
+
+    def __init__(self, engine, capacity: int = DEFAULT_CACHE_CAPACITY):
+        self.engine = engine
+        self._num_fields = len(engine.ruleset.schema)
+        self.cache = FlowCache(capacity, self._num_fields)
+        self._queue = getattr(engine, "updates", None)
+        self._listener = self.cache.handle_update
+        if self._queue is not None:
+            self._queue.add_listener(self._listener)
+
+    # ------------------------------------------------------------------ serve
+
+    @property
+    def ruleset(self):
+        return self.engine.ruleset
+
+    def classify_batch(
+        self, packets: Sequence[Packet | Sequence[int]]
+    ) -> list[ClassificationResult]:
+        packet_list = list(packets)
+        if not packet_list:
+            return []
+        keys = pack_packets(packet_list, self._num_fields)
+        # Rows are serialized once and reused for probe, miss dedup and fill.
+        row_bytes = [keys[row].tobytes() for row in range(len(packet_list))]
+        winners, hit_mask = self.cache.probe_batch(keys, row_bytes=row_bytes)
+        results: list[Optional[ClassificationResult]] = [None] * len(packet_list)
+        for row in np.flatnonzero(hit_mask):
+            results[row] = ClassificationResult(winners[row], _hit_trace())
+        miss_rows = np.flatnonzero(~hit_mask)
+        if len(miss_rows):
+            # Classify each distinct missed flow once: under skewed traffic a
+            # batch repeats hot flows, and duplicates resolve to the same rule.
+            first_row: dict[bytes, int] = {}
+            for row in miss_rows:
+                first_row.setdefault(row_bytes[row], int(row))
+            unique_rows = sorted(first_row.values())
+            epoch = self.cache.epoch
+            missed = self.engine.classify_batch(
+                [packet_list[row] for row in unique_rows]
+            )
+            by_key = {
+                row_bytes[row]: result
+                for row, result in zip(unique_rows, missed)
+            }
+            for row in miss_rows:
+                key = row_bytes[row]
+                result = by_key[key]
+                if int(row) == first_row[key]:
+                    results[row] = result
+                else:
+                    # Duplicate of an in-batch flow: resolved from the batch
+                    # dedup, so it carries the hit trace (no aliased results,
+                    # and the engine's one lookup is not counted per copy).
+                    results[row] = ClassificationResult(result.rule, _hit_trace())
+            # The epoch snapshot predates the slow-path classification: if an
+            # update was acknowledged meanwhile, the fill is dropped so no
+            # post-ack lookup can hit pre-update results.
+            self.cache.fill_batch(
+                keys[unique_rows],
+                [result.rule for result in missed],
+                epoch=epoch,
+                row_bytes=[row_bytes[row] for row in unique_rows],
+            )
+        return results  # type: ignore[return-value]
+
+    def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
+        return self.classify_batch([packet])[0]
+
+    def classify(self, packet: Packet | Sequence[int]) -> Optional[Rule]:
+        return self.classify_traced(packet).rule
+
+    def serve(self, packets, batch_size: int = 128):
+        """Serve a packet stream in fixed-size batches, yielding batch reports."""
+        from repro.engine.engine import serve_in_batches
+
+        return serve_in_batches(self.classify_batch, packets, batch_size)
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, rule: Rule) -> None:
+        """Insert a rule; stale cache entries are evicted before this returns."""
+        self.engine.insert(rule)
+        if getattr(self.engine, "updates", None) is None:
+            self.cache.invalidate_insert(rule)
+
+    def remove(self, rule_id: int) -> bool:
+        """Remove a rule; stale cache entries are evicted before this returns."""
+        removed = self.engine.remove(rule_id)
+        if removed and getattr(self.engine, "updates", None) is None:
+            self.cache.invalidate_remove(rule_id)
+        return removed
+
+    # ----------------------------------------------------------- introspection
+
+    def hit_rate(self) -> float:
+        return self.cache.stats.hit_rate
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "name": "cached",
+            "cache": self.cache.statistics(),
+            "engine": self.engine.statistics(),
+        }
+
+    def close(self) -> None:
+        if self._queue is not None:
+            self._queue.remove_listener(self._listener)
+            self._queue = None
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "CachedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CachedEngine({self.engine!r}, capacity={self.cache.capacity}, "
+            f"entries={len(self.cache)})"
+        )

@@ -61,8 +61,11 @@ def partition_for_shards(
     elif strategy == "isets":
         groups = partition_shards(ruleset, num_shards)
     else:  # auto
-        if partition_isets(ruleset, max_isets=1).isets:
-            groups = partition_shards(ruleset, num_shards)
+        # One iSet computation decides the strategy *and* feeds the split —
+        # partition_isets is the expensive step on large rule-sets.
+        partition = partition_isets(ruleset)
+        if partition.isets:
+            groups = partition_shards(ruleset, num_shards, partition=partition)
         else:
             groups = _round_robin(ruleset, num_shards)
 

@@ -15,6 +15,19 @@ shard:
   engine is rebuilt over a live snapshot in a worker thread and swapped in
   atomically; updates that arrive mid-retrain stay in the overlay until the
   next cycle.
+* **invalidation listeners** — downstream result caches (the
+  :class:`~repro.serving.flowcache.FlowCache` hot path) register a listener
+  with :meth:`UpdateQueue.add_listener`; it fires after the update is applied
+  to the owning shard and **before the update call returns**.
+
+Consistency contract: an ``insert``/``remove`` is *acknowledged* when the call
+returns, and by that point (a) the owning shard's overlay serves the new
+state, and (b) every registered listener has evicted whatever it cached for
+the old state.  A ``classify`` issued after the ack therefore never observes
+the removed rule or the pre-update matching set — not even through a result
+cache.  Results obtained *before* the ack reflect the old state, exactly as a
+lookup that raced the update would; callers needing a fence must order their
+lookups after the update call returns.
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ class UpdateQueue:
         self.background = background
         self._lock = threading.RLock()
         self._threads: list[threading.Thread] = []
+        self._listeners: list[Callable[[str, object], None]] = []
         #: rule_id -> index of the shard currently holding the rule.
         self._owner: dict[int, int] = {}
         self.inserts_applied = 0
@@ -78,6 +92,31 @@ class UpdateQueue:
                 for shard in self._shards
                 for rule_id in shard.live_ids()
             }
+
+    # -------------------------------------------------------------- listeners
+
+    def add_listener(self, listener: Callable[[str, object], None]) -> None:
+        """Register ``listener(op, payload)`` for update notifications.
+
+        ``op`` is ``"insert"`` (payload: the :class:`Rule`) or ``"remove"``
+        (payload: the rule id).  Listeners run synchronously after the update
+        is applied and before :meth:`insert`/:meth:`remove` return — the
+        eviction-before-ack ordering result caches rely on.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str, object], None]) -> None:
+        """Unregister a listener previously added (no-op if absent)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, op: str, payload) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(op, payload)
 
     # ------------------------------------------------------------- operations
 
@@ -105,6 +144,9 @@ class UpdateQueue:
             shard.apply_insert(rule, mask_old=owner is not None)
             self._owner[rule.rule_id] = shard.index
             self.inserts_applied += 1
+        # Eviction before ack: stale cached results are gone before the caller
+        # learns the insert completed.
+        self._notify("insert", rule)
         self._maybe_retrain(shard)
 
     def remove(self, rule_id: int) -> bool:
@@ -117,6 +159,9 @@ class UpdateQueue:
             shard.apply_remove(rule_id)
             del self._owner[rule_id]
             self.removes_applied += 1
+        # Eviction before ack: a classify issued after this call returns can
+        # never be served the removed rule from a result cache.
+        self._notify("remove", rule_id)
         self._maybe_retrain(shard)
         return True
 
@@ -129,7 +174,8 @@ class UpdateQueue:
             if shard.remainder_fraction() < self.retrain_threshold:
                 return
             shard.retraining = True
-        self.retrains_triggered += 1
+        with self._lock:
+            self.retrains_triggered += 1
         if self.background:
             thread = threading.Thread(
                 target=self._retrain,

@@ -103,3 +103,39 @@ class TestServe:
     def test_serve_rejects_unknown_executor(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "x.txt", "--executor", "gpu"])
+
+
+class TestReplay:
+    def test_replay_cached_sharded_reports_hit_rate(self, ruleset_file, capsys):
+        assert main(["replay", "--ruleset", str(ruleset_file), "--trace", "zipf",
+                     "--skew", "95", "--cache-size", "512", "--shards", "2",
+                     "--executor", "serial", "--packets", "2000",
+                     "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "latency p99 ns/pkt" in out
+        assert "cached(sharded[2])" in out
+
+    def test_replay_generates_synthetic_ruleset_by_default(self, capsys):
+        assert main(["replay", "--trace", "uniform", "--rules", "200",
+                     "--packets", "400", "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "engine[tm]" in out
+        assert "measured kpps" in out
+
+    def test_replay_json_output(self, ruleset_file, capsys):
+        import json
+
+        assert main(["replay", "--ruleset", str(ruleset_file), "--trace", "caida",
+                     "--cache-size", "256", "--packets", "1000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_size"] == 256
+        assert payload["packets"] == 1000
+        assert 0.0 <= payload["hit_rate"] <= 1.0
+        assert payload["cache"]["capacity"] == 256
+
+    def test_replay_rejects_unknown_trace_and_skew(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--trace", "bursty"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--skew", "42"])
