@@ -1,0 +1,183 @@
+"""Network-serving throughput — the adaptive-coalescing sweep.
+
+The paper's throughput comes from batched RQ-RMI inference; the
+:class:`~repro.serving.server.AsyncServer` recovers that batching from
+*network* traffic by coalescing concurrent requests into micro-batches under
+a ``(max_batch, max_delay_us)`` policy.  This benchmark quantifies what the
+coalescing buys: a zipf-95 trace (§5.1.1) is offered open-loop to an
+in-process server across a {client concurrency} × {max_delay_us} sweep, plus
+a *one-request-per-call* baseline (``max_batch=1`` — every request is its own
+``classify_batch`` call, the dispatch regime a naive RPC server would use).
+
+Reported per cell: client-observed throughput and p50/p99 latency, plus the
+server's mean coalesced batch size.  Shape assertions: concurrency must
+actually coalesce (mean batch size > 1), and coalesced dispatch must beat the
+one-request-per-call baseline at the same concurrency.
+
+Results land in the BENCH json format (``benchmarks/results/
+server_throughput.json`` plus a ``BENCH {...}`` stdout line).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.engine import ClassificationEngine
+from repro.serving import AsyncServer
+from repro.workloads import make_trace, open_loop_load
+
+from bench_helpers import current_scale, report, report_json, ruleset
+from repro.analysis import format_table
+
+CLASSIFIER = "tm"
+CONNECTIONS = 4
+#: Per-connection in-flight windows: 1 ≈ closed-loop ping-pong, 32 ≈ heavy
+#: concurrent load.
+WINDOWS = (1, 8, 32)
+#: Coalescing delay bounds (us); 0 batches only what queued behind the
+#: previous dispatch.
+DELAYS_US = (0.0, 200.0, 1000.0)
+MAX_BATCH = 64
+
+
+async def _measure(engine, packets, max_batch, max_delay_us, window):
+    async with AsyncServer(
+        engine, max_batch=max_batch, max_delay_us=max_delay_us
+    ) as server:
+        await server.start("127.0.0.1", 0)
+        return await open_loop_load(
+            server.host,
+            server.port,
+            packets,
+            connections=CONNECTIONS,
+            window=window,
+        )
+
+
+def _cell(engine, packets, max_batch, max_delay_us, window):
+    load = asyncio.run(
+        _measure(engine, packets, max_batch, max_delay_us, window)
+    )
+    assert load.completed == len(packets)
+    assert load.errors == 0 and load.overloaded == 0
+    return load
+
+
+def test_server_throughput():
+    scale = current_scale()
+    application = scale["applications"][0]
+    size = scale["sizes"]["10K"]
+    rules = ruleset(application, size)
+    num_packets = max(10 * scale["trace_packets"], 2000)
+    trace = make_trace("zipf", rules, num_packets, seed=59, skew=95)
+    packets = [tuple(p) for p in trace]
+    engine = ClassificationEngine.build(rules, classifier=CLASSIFIER)
+
+    rows = []
+    series = []
+    coalesced_by_window: dict[int, float] = {}
+    for window in WINDOWS:
+        for delay_us in DELAYS_US:
+            load = _cell(engine, packets, MAX_BATCH, delay_us, window)
+            concurrency = CONNECTIONS * window
+            coalesced_by_window[window] = max(
+                coalesced_by_window.get(window, 0.0), load.throughput_rps
+            )
+            series.append(
+                {
+                    "mode": "coalesced",
+                    "max_batch": MAX_BATCH,
+                    "max_delay_us": delay_us,
+                    "connections": CONNECTIONS,
+                    "window": window,
+                    "concurrency": concurrency,
+                    "load": load.as_dict(),
+                }
+            )
+            rows.append(
+                [
+                    f"coalesced({MAX_BATCH})",
+                    int(delay_us),
+                    concurrency,
+                    round(load.throughput_rps / 1e3, 2),
+                    round(load.mean_batch_size, 2),
+                    round(load.latency_p50_us, 1),
+                    round(load.latency_p99_us, 1),
+                ]
+            )
+
+    # One-request-per-call dispatch at the heaviest concurrency: the regime
+    # coalescing must beat.
+    heaviest = max(WINDOWS)
+    baseline = _cell(engine, packets, 1, 0.0, heaviest)
+    series.append(
+        {
+            "mode": "per-request",
+            "max_batch": 1,
+            "max_delay_us": 0.0,
+            "connections": CONNECTIONS,
+            "window": heaviest,
+            "concurrency": CONNECTIONS * heaviest,
+            "load": baseline.as_dict(),
+        }
+    )
+    rows.append(
+        [
+            "per-request(1)",
+            0,
+            CONNECTIONS * heaviest,
+            round(baseline.throughput_rps / 1e3, 2),
+            round(baseline.mean_batch_size, 2),
+            round(baseline.latency_p50_us, 1),
+            round(baseline.latency_p99_us, 1),
+        ]
+    )
+
+    text = format_table(
+        ["dispatch", "delay us", "concurrency", "krps", "mean batch",
+         "p50 us", "p99 us"],
+        rows,
+        title=f"Server throughput (zipf-95, {CLASSIFIER}, {application} "
+              f"{size} rules, {num_packets} requests)",
+    )
+    report("server_throughput", text)
+
+    best_coalesced = coalesced_by_window[heaviest]
+    speedup = (
+        best_coalesced / baseline.throughput_rps
+        if baseline.throughput_rps > 0
+        else 0.0
+    )
+    report_json(
+        "server_throughput",
+        {
+            "bench": "server_throughput",
+            "classifier": CLASSIFIER,
+            "application": application,
+            "rules": size,
+            "trace": "zipf-95",
+            "requests": num_packets,
+            "connections": CONNECTIONS,
+            "max_batch": MAX_BATCH,
+            "coalesced_best_rps": round(best_coalesced, 1),
+            "per_request_rps": round(baseline.throughput_rps, 1),
+            "coalescing_speedup": round(speedup, 3),
+            "series": series,
+        },
+    )
+
+    # Shape checks: concurrency must coalesce, and coalesced dispatch must
+    # out-run one-request-per-call dispatch at the same offered concurrency.
+    heavy_cells = [
+        cell
+        for cell in series
+        if cell["mode"] == "coalesced" and cell["window"] == heaviest
+    ]
+    assert any(
+        cell["load"]["mean_batch_size"] > 1.0 for cell in heavy_cells
+    ), "concurrent load never coalesced"
+    assert baseline.mean_batch_size <= 1.0 + 1e-9
+    assert best_coalesced > baseline.throughput_rps, (
+        f"coalesced dispatch ({best_coalesced:.0f} rps) did not beat "
+        f"per-request dispatch ({baseline.throughput_rps:.0f} rps)"
+    )

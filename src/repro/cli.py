@@ -17,7 +17,13 @@ Commands:
 * ``serve``    — multi-core sharded serving: build a
   :class:`~repro.serving.ShardedEngine` over a rule-set (``--shards N``), run
   a generated trace through the worker pool, and report measured plus
-  modelled throughput; ``--save`` persists all shards to one snapshot.
+  modelled throughput; ``--save`` persists all shards to one snapshot.  With
+  ``--listen HOST:PORT`` the engine is served over asyncio TCP instead
+  (length-prefixed JSON; classify/insert/remove/stats), with concurrent
+  requests coalesced into micro-batches under the
+  ``(--max-batch, --max-delay-us)`` policy, a bounded request queue
+  (``--max-queue``) for backpressure, and an optional exact-match flow cache
+  (``--cache-size``).
 * ``replay``   — end-to-end scenario replay: drive a §5.1.1 trace
   (``--trace {uniform,zipf,caida}``, ``--skew`` for the Figure-12 Zipf
   settings) through any engine configuration (``--shards N``,
@@ -48,7 +54,16 @@ from repro.rules import (
     parse_classbench_file,
     write_classbench_file,
 )
-from repro.serving import EXECUTORS, PARTITIONERS, ShardedEngine
+from repro.serving import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_US,
+    DEFAULT_MAX_QUEUE,
+    EXECUTORS,
+    PARTITIONERS,
+    CachedEngine,
+    ShardedEngine,
+    run_server,
+)
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD
 from repro.simulation import (
     CostModel,
@@ -142,6 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--batch-size", type=int, default=128)
     sharded.add_argument("--seed", type=int, default=1)
     sharded.add_argument("--save", help="persist the sharded engine to this path")
+    sharded.add_argument("--listen", metavar="HOST:PORT",
+                         help="serve classify/insert/remove/stats over asyncio "
+                              "TCP (length-prefixed JSON) instead of replaying "
+                              "a local trace; PORT 0 picks an ephemeral port")
+    sharded.add_argument("--max-batch", type=int, default=DEFAULT_MAX_BATCH,
+                         help="request-coalescing micro-batch size cap")
+    sharded.add_argument("--max-delay-us", type=float,
+                         default=DEFAULT_MAX_DELAY_US,
+                         help="max time the oldest queued request waits before "
+                              "its batch closes (0 = no artificial delay)")
+    sharded.add_argument("--max-queue", type=int, default=DEFAULT_MAX_QUEUE,
+                         help="bounded request queue; submissions beyond it "
+                              "are rejected with code 'overloaded'")
+    sharded.add_argument("--cache-size", type=int, default=0,
+                         help="front the engine with an exact-match flow "
+                              "cache of this many entries (--listen only)")
 
     replay = sub.add_parser(
         "replay", help="replay a generated trace through the serving stack"
@@ -357,6 +388,56 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _listen_address(listen: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` --listen argument (empty host = 127.0.0.1)."""
+    host, sep, port = listen.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"error: --listen expects HOST:PORT, got {listen!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
+    """Network-serving mode: front ``engine`` with an AsyncServer."""
+    host, port = _listen_address(args.listen)
+    if args.cache_size > 0:
+        engine = CachedEngine(engine, capacity=args.cache_size)
+    try:
+        stats = run_server(
+            engine,
+            host,
+            port,
+            max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            max_queue=args.max_queue,
+            ready=lambda server: print(
+                f"listening on {server.host}:{server.port} "
+                f"(max_batch={args.max_batch}, "
+                f"max_delay_us={args.max_delay_us:g}, "
+                f"cache_size={args.cache_size})",
+                file=sys.stderr,
+                flush=True,
+            ),
+        )
+    finally:
+        engine.close()
+    server_stats = stats.get("server", {})
+    batcher = server_stats.get("batcher", {})
+    print(format_kv(
+        {
+            "requests served": server_stats.get("requests_served", 0),
+            "batches": batcher.get("batches", 0),
+            "mean batch size": batcher.get("mean_batch_size", 0.0),
+            "max batch seen": batcher.get("max_batch_seen", 0),
+            "rejected (overload)": batcher.get("rejected", 0),
+            "max queue depth": batcher.get("max_queue_depth", 0),
+            "latency p50 us": round(server_stats.get("p50_us", 0.0), 1),
+            "latency p99 us": round(server_stats.get("p99_us", 0.0), 1),
+        },
+        title="server shutdown statistics",
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -386,6 +467,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "remainder_classifier": args.remainder,
                 "config": _nm_config(args.error_threshold),
             }
+        if args.listen and args.shards <= 1:
+            # Network serving fronts any engine stack; one shard needs no
+            # fan-out layer at all.
+            return _cmd_serve_listen(
+                args,
+                ClassificationEngine.build(
+                    ruleset, classifier=args.classifier, **params
+                ),
+            )
         sharded = ShardedEngine.build(
             ruleset,
             shards=args.shards,
@@ -395,6 +485,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retrain_threshold=args.retrain_threshold,
             **params,
         )
+    if args.listen:
+        return _cmd_serve_listen(args, sharded)
     with sharded:
         trace = generate_uniform_trace(
             sharded.ruleset, args.packets, seed=args.seed

@@ -164,7 +164,28 @@ class ClassificationEngine:
         """Check the engine against linear search; see :meth:`Classifier.verify`."""
         return self.classifier.verify(packets)
 
+    def close(self) -> None:
+        """Release serving resources (a plain engine holds none).
+
+        Part of the uniform engine-stack surface — ``classify_batch`` /
+        ``insert`` / ``remove`` / ``statistics`` / ``close`` — that serving
+        front-ends (:class:`~repro.serving.ShardedEngine` wrappers, the
+        :class:`~repro.serving.server.AsyncServer`) rely on, so any stack can
+        be torn down without type-sniffing.
+        """
+
+    def __enter__(self) -> "ClassificationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ----------------------------------------------------------------- update
+
+    @property
+    def supports_updates(self) -> bool:
+        """True when :meth:`insert`/:meth:`remove` will be accepted."""
+        return isinstance(self.classifier, UpdatableClassifier)
 
     def insert(self, rule: Rule) -> None:
         """Insert a rule online (classifiers supporting updates only)."""

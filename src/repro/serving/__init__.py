@@ -16,8 +16,10 @@ NuevoMatch — by splitting the rule-set across cores::
 See :mod:`repro.serving.sharded` for the engine,
 :mod:`repro.serving.partitioning` for the iSet-aware rule split,
 :mod:`repro.serving.updates` for the online-update / background-retraining
-policy and :mod:`repro.serving.flowcache` for the exact-match flow cache that
-exploits the skewed traffic of the paper's §5.1.1 evaluation.
+policy, :mod:`repro.serving.flowcache` for the exact-match flow cache that
+exploits the skewed traffic of the paper's §5.1.1 evaluation, and
+:mod:`repro.serving.server` for the asyncio TCP front-end that coalesces
+concurrent network requests into micro-batches (``repro serve --listen``).
 """
 
 from repro.serving.flowcache import (
@@ -27,6 +29,18 @@ from repro.serving.flowcache import (
     FlowCache,
 )
 from repro.serving.partitioning import PARTITIONERS, partition_for_shards
+from repro.serving.server import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_US,
+    DEFAULT_MAX_QUEUE,
+    AsyncClient,
+    AsyncServer,
+    BatcherStats,
+    QueueFullError,
+    RequestBatcher,
+    ServerError,
+    run_server,
+)
 from repro.serving.sharded import EXECUTORS, ShardedEngine
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
 
@@ -36,9 +50,19 @@ __all__ = [
     "FlowCache",
     "CachedEngine",
     "CacheStats",
+    "AsyncServer",
+    "AsyncClient",
+    "RequestBatcher",
+    "BatcherStats",
+    "QueueFullError",
+    "ServerError",
+    "run_server",
     "partition_for_shards",
     "PARTITIONERS",
     "EXECUTORS",
     "DEFAULT_RETRAIN_THRESHOLD",
     "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_DELAY_US",
+    "DEFAULT_MAX_QUEUE",
 ]

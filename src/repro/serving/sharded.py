@@ -576,6 +576,11 @@ class ShardedEngine:
 
     # ----------------------------------------------------------------- update
 
+    @property
+    def supports_updates(self) -> bool:
+        """Always True: the overlay absorbs updates for any classifier kind."""
+        return True
+
     def insert(self, rule: Rule) -> None:
         """Insert a rule online; applied immediately to the owning shard."""
         self.updates.insert(rule)

@@ -8,8 +8,14 @@ traces through any engine configuration — cached or uncached, one shard or
 many — and reports what an operator would measure: cache hit rate, wall-clock
 throughput and per-packet latency percentiles, next to the cost-model's
 cache-placement estimate.
+
+:mod:`repro.workloads.loadgen` is the open-loop counterpart for network
+serving: the same §5.1.1 traces offered as concurrent requests to an
+:class:`~repro.serving.server.AsyncServer`, measuring coalescing behaviour
+and client-observed latency.
 """
 
+from repro.workloads.loadgen import LoadReport, open_loop_load, run_load
 from repro.workloads.replay import (
     TRACE_KINDS,
     ReplayReport,
@@ -21,9 +27,12 @@ from repro.workloads.replay import (
 
 __all__ = [
     "TRACE_KINDS",
+    "LoadReport",
     "ReplayReport",
     "build_scenario_engine",
     "make_trace",
+    "open_loop_load",
     "replay_trace",
+    "run_load",
     "run_scenario",
 ]

@@ -1,0 +1,243 @@
+"""Open-loop network load generation against an :class:`AsyncServer`.
+
+The trace-replay harness (:mod:`repro.workloads.replay`) drives pre-formed
+batches through an engine in-process — a *closed-loop* measurement.  Real
+serving traffic is open-loop: requests arrive on their own schedule whether
+or not earlier ones finished, which is exactly the regime the
+:class:`~repro.serving.server.RequestBatcher` exists for.  This module
+provides that client side:
+
+* :func:`open_loop_load` — an asyncio load generator: ``connections`` TCP
+  clients share the packet stream; each packet is *scheduled* by the offered
+  rate (``rate_pps``; ``None`` offers as fast as the in-flight window allows)
+  and its latency is measured from the scheduled arrival, so server queueing
+  under overload is charged to the server, not hidden by the client.  The
+  in-flight window bounds client memory, making the generator quasi-open-loop
+  (the standard compromise, cf. open-loop harnesses like wrk2).
+* :func:`run_load` — blocking wrapper (``asyncio.run``) returning a
+  :class:`LoadReport`.
+
+Traces come from :func:`repro.workloads.make_trace`, so the §5.1.1 skew
+regimes (uniform / zipf-{80,85,90,95} / caida) apply to network serving
+unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.serving.server import AsyncClient, ServerError
+
+__all__ = ["LoadReport", "open_loop_load", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run observed from the client side."""
+
+    packets: int
+    completed: int
+    matched: int
+    overloaded: int
+    errors: int
+    wall_seconds: float
+    offered_rate_pps: Optional[float]
+    throughput_rps: float
+    latency_p50_us: float
+    latency_p99_us: float
+    connections: int
+    window: int
+    server: dict = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Server-reported mean coalesced batch size (0.0 if stats missing)."""
+        batcher = self.server.get("server", {}).get("batcher", {})
+        return float(batcher.get("mean_batch_size", 0.0))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "packets": self.packets,
+            "completed": self.completed,
+            "matched": self.matched,
+            "overloaded": self.overloaded,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "offered_rate_pps": self.offered_rate_pps,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_p50_us": round(self.latency_p50_us, 1),
+            "latency_p99_us": round(self.latency_p99_us, 1),
+            "connections": self.connections,
+            "window": self.window,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "server": self.server,
+        }
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    packets: Sequence[tuple[int, ...]],
+    schedule: Sequence[float] | None,
+    start_at: float,
+    window: int,
+    latencies_us: list[float],
+    counters: dict[str, int],
+) -> None:
+    """One connection's share: scheduled sends, bounded in-flight window."""
+    inflight = asyncio.Semaphore(window)
+    tasks: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+
+    async def _one(packet: tuple[int, ...], scheduled: float) -> None:
+        try:
+            response = await client.classify(packet)
+            if response["matched"]:
+                counters["matched"] += 1
+            counters["completed"] += 1
+        except ServerError as exc:
+            if exc.code == "overloaded":
+                counters["overloaded"] += 1
+            else:
+                counters["errors"] += 1
+        except (ConnectionError, RuntimeError):
+            counters["errors"] += 1
+        finally:
+            # Latency from the *scheduled* arrival: open-loop measurements
+            # charge queueing delay to the server.
+            latencies_us.append((time.monotonic() - scheduled) * 1e6)
+            inflight.release()
+
+    async with await AsyncClient.connect(host, port) as client:
+        for index, packet in enumerate(packets):
+            if schedule is not None:
+                scheduled = start_at + schedule[index]
+                delay = scheduled - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            await inflight.acquire()
+            # Without a rate there is no arrival schedule: latency runs from
+            # the actual send.  With one, it runs from the *scheduled* arrival
+            # even when the window made the send late — otherwise an
+            # overloaded server's queueing delay would vanish from the report
+            # (coordinated omission).
+            tasks.append(
+                loop.create_task(
+                    _one(
+                        packet,
+                        time.monotonic() if schedule is None else scheduled,
+                    )
+                )
+            )
+        if tasks:
+            await asyncio.gather(*tasks)
+
+
+async def open_loop_load(
+    host: str,
+    port: int,
+    packets: Sequence,
+    connections: int = 4,
+    window: int = 32,
+    rate_pps: float | None = None,
+) -> LoadReport:
+    """Fire ``packets`` at the server and report client-observed behaviour.
+
+    Args:
+        host, port: The :class:`~repro.serving.server.AsyncServer` address.
+        packets: Packet value tuples (or :class:`~repro.rules.rule.Packet`),
+            e.g. a :class:`~repro.traffic.Trace`'s packets.
+        connections: Concurrent TCP connections sharing the stream
+            round-robin (preserving each connection's relative order).
+        window: Max in-flight requests per connection.
+        rate_pps: Offered arrival rate across all connections; ``None``
+            offers as fast as the windows allow.
+    """
+    if connections < 1:
+        raise ValueError("connections must be at least 1")
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    values = [
+        packet if isinstance(packet, tuple) else tuple(packet) for packet in packets
+    ]
+    shares: list[list[tuple[int, ...]]] = [[] for _ in range(connections)]
+    schedules: list[list[float]] | None = None
+    if rate_pps is not None:
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        schedules = [[] for _ in range(connections)]
+    for index, packet in enumerate(values):
+        shares[index % connections].append(packet)
+        if schedules is not None:
+            schedules[index % connections].append(index / rate_pps)
+
+    latencies_us: list[float] = []
+    counters = {"completed": 0, "matched": 0, "overloaded": 0, "errors": 0}
+    start = time.monotonic()
+    await asyncio.gather(
+        *(
+            _drive_connection(
+                host,
+                port,
+                shares[conn],
+                schedules[conn] if schedules is not None else None,
+                start,
+                window,
+                latencies_us,
+                counters,
+            )
+            for conn in range(connections)
+            if shares[conn]
+        )
+    )
+    wall = time.monotonic() - start
+
+    server_stats: dict = {}
+    try:
+        async with await AsyncClient.connect(host, port) as client:
+            server_stats = await client.stats()
+    except (ConnectionError, ServerError, OSError):
+        pass
+
+    window_us = np.asarray(latencies_us) if latencies_us else np.zeros(1)
+    return LoadReport(
+        packets=len(values),
+        completed=counters["completed"],
+        matched=counters["matched"],
+        overloaded=counters["overloaded"],
+        errors=counters["errors"],
+        wall_seconds=wall,
+        offered_rate_pps=rate_pps,
+        throughput_rps=counters["completed"] / wall if wall > 0 else 0.0,
+        latency_p50_us=float(np.percentile(window_us, 50)),
+        latency_p99_us=float(np.percentile(window_us, 99)),
+        connections=connections,
+        window=window,
+        server=server_stats,
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    packets: Sequence,
+    connections: int = 4,
+    window: int = 32,
+    rate_pps: float | None = None,
+) -> LoadReport:
+    """Blocking wrapper around :func:`open_loop_load`."""
+    return asyncio.run(
+        open_loop_load(
+            host,
+            port,
+            packets,
+            connections=connections,
+            window=window,
+            rate_pps=rate_pps,
+        )
+    )

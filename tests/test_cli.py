@@ -79,6 +79,43 @@ class TestCompare:
         assert "nm(tm)" in out
 
 
+class TestServeListen:
+    def test_parser_accepts_coalescing_options(self):
+        args = build_parser().parse_args(
+            ["serve", "rules.txt", "--listen", "0.0.0.0:8590",
+             "--max-batch", "64", "--max-delay-us", "150",
+             "--max-queue", "512", "--cache-size", "2048"]
+        )
+        assert args.listen == "0.0.0.0:8590"
+        assert args.max_batch == 64
+        assert args.max_delay_us == 150.0
+        assert args.max_queue == 512
+        assert args.cache_size == 2048
+
+    def test_listen_defaults(self):
+        from repro.serving import (
+            DEFAULT_MAX_BATCH,
+            DEFAULT_MAX_DELAY_US,
+            DEFAULT_MAX_QUEUE,
+        )
+
+        args = build_parser().parse_args(["serve", "rules.txt"])
+        assert args.listen is None
+        assert args.max_batch == DEFAULT_MAX_BATCH
+        assert args.max_delay_us == DEFAULT_MAX_DELAY_US
+        assert args.max_queue == DEFAULT_MAX_QUEUE
+        assert args.cache_size == 0
+
+    def test_listen_address_parsing(self):
+        from repro.cli import _listen_address
+
+        assert _listen_address("127.0.0.1:8590") == ("127.0.0.1", 8590)
+        assert _listen_address(":0") == ("127.0.0.1", 0)
+        for bad in ("8590", "host:", "host:port"):
+            with pytest.raises(SystemExit):
+                _listen_address(bad)
+
+
 class TestServe:
     def test_serve_builds_and_reports_throughput(self, ruleset_file, capsys):
         assert main(["serve", str(ruleset_file), "--shards", "2",

@@ -1,7 +1,8 @@
 """Differential conformance suite.
 
-Every registered classifier — and the sharded serving layer at several shard
-counts — must agree with :class:`LinearSearchClassifier` ground truth on the
+Every registered classifier — the sharded serving layer at several shard
+counts, and the flow-cached engine stacks (plain and sharded) both cold and
+warm — must agree with :class:`LinearSearchClassifier` ground truth on the
 same packet sets.  Generated rule-sets assign unique priorities (ClassBench
 convention: position order), so agreement is checked on exact rule identity,
 not just priority.
@@ -15,11 +16,15 @@ from repro.classifiers import available_classifiers, build_classifier
 from repro.classifiers.linear import LinearSearchClassifier
 from repro.core.nuevomatch import NuevoMatch
 from repro.engine import ClassificationEngine
-from repro.serving import ShardedEngine
+from repro.serving import CachedEngine, ShardedEngine
 
 from _helpers import fast_nm_config
 
 SHARD_COUNTS = (1, 2, 4)
+
+#: Cache capacities for the CachedEngine rows: smaller than the probe set (so
+#: eviction fires mid-run) and comfortably larger than it.
+CACHE_CAPACITIES = (64, 1024)
 
 
 def _packets_for(ruleset, matching=100, uniform=50, seed=33):
@@ -113,3 +118,58 @@ class TestShardedEngine:
             assert _keys(sharded.classify_batch(packets)) == _keys(
                 oracle.classify_batch(packets)
             )
+
+
+class TestCachedEngine:
+    """Flow-cached stacks in the differential matrix.
+
+    Each probe set runs twice through one CachedEngine: the first pass is all
+    misses (slow path + fills), the second mostly hits — both must agree with
+    linear ground truth, and with each other, at capacities below and above
+    the distinct-flow count.
+    """
+
+    @pytest.mark.parametrize("capacity", CACHE_CAPACITIES)
+    def test_cached_plain_engine_matches_ground_truth(self, capacity, conformance_ruleset):
+        ruleset = conformance_ruleset
+        oracle = LinearSearchClassifier.build(ruleset)
+        packets = _packets_for(ruleset)
+        expected = _keys(oracle.classify_batch(packets))
+        with CachedEngine(
+            ClassificationEngine.build(ruleset, classifier="tm"),
+            capacity=capacity,
+        ) as cached:
+            cold = _keys(cached.classify_batch(packets))
+            warm = _keys(cached.classify_batch(packets))
+        assert cold == expected
+        assert warm == expected
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("capacity", CACHE_CAPACITIES)
+    def test_cached_sharded_engine_matches_ground_truth(
+        self, capacity, shards, acl_small
+    ):
+        oracle = LinearSearchClassifier.build(acl_small)
+        packets = _packets_for(acl_small)
+        expected = _keys(oracle.classify_batch(packets))
+        with ShardedEngine.build(
+            acl_small, shards=shards, classifier="tm", executor="serial"
+        ) as sharded:
+            with CachedEngine(sharded, capacity=capacity) as cached:
+                cold = _keys(cached.classify_batch(packets))
+                warm = _keys(cached.classify_batch(packets))
+                assert cached.cache.stats.hits > 0
+        assert cold == expected
+        assert warm == expected
+
+    def test_cached_engine_identical_to_uncached_per_packet(self, acl_small):
+        """Row-for-row: cached and uncached stacks return the same rule for
+        every probe, cold and warm (bit-identical matches, as documented)."""
+        packets = _packets_for(acl_small)
+        uncached = ClassificationEngine.build(acl_small, classifier="tm")
+        baseline = _keys(uncached.classify_batch(packets))
+        with CachedEngine(
+            ClassificationEngine.build(acl_small, classifier="tm"), capacity=256
+        ) as cached:
+            assert _keys(cached.classify_batch(packets)) == baseline
+            assert _keys(cached.classify_batch(packets)) == baseline

@@ -1,0 +1,272 @@
+"""Deterministic unit tests for the request-coalescing policy.
+
+The :class:`~repro.serving.server.RequestBatcher` policy core (submit /
+due_in / take_batch) is a pure state machine over an injectable clock, so
+every timing decision here is exact: batches close at *exactly* ``max_batch``
+or *exactly* ``max_delay_us``, backpressure rejects at *exactly*
+``max_queue``, and a scripted dispatcher drive shows no request is ever
+dropped or answered twice.  The asyncio dispatcher loop is covered separately
+(with real time) in ``tests/test_async_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future, InvalidStateError
+
+import pytest
+
+from repro.serving.server import BatcherStats, QueueFullError, RequestBatcher
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds, like time.monotonic).
+
+    Time accumulates in microseconds and converts to seconds once per read,
+    so advancing 99us then 1us lands *exactly* on a 100us deadline instead of
+    a float-summation hair before it.
+    """
+
+    def __init__(self):
+        self.us = 0.0
+
+    def __call__(self) -> float:
+        return self.us / 1e6
+
+    def advance_us(self, us: float) -> None:
+        self.us += us
+
+
+def make_batcher(**kwargs) -> tuple[RequestBatcher, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        max_batch=4, max_delay_us=100.0, max_queue=6,
+        clock=clock, future_factory=Future,
+    )
+    defaults.update(kwargs)
+    return RequestBatcher(**defaults), clock
+
+
+class TestBatchClosing:
+    def test_batch_closes_at_exactly_max_batch(self):
+        batcher, _clock = make_batcher(max_batch=4)
+        for i in range(3):
+            batcher.submit(i)
+            # Below max_batch and no time has passed: the full delay remains.
+            assert batcher.due_in() == pytest.approx(100.0 / 1e6)
+        batcher.submit(3)
+        assert batcher.due_in() == 0.0
+        batch = batcher.take_batch()
+        assert [p.payload for p in batch] == [0, 1, 2, 3]
+        assert batcher.due_in() is None  # queue drained
+
+    def test_batch_closes_at_exactly_max_delay(self):
+        batcher, clock = make_batcher(max_delay_us=100.0)
+        batcher.submit("a")
+        clock.advance_us(99.0)
+        remaining = batcher.due_in()
+        assert remaining == pytest.approx(1.0 / 1e6)
+        clock.advance_us(1.0)  # exactly max_delay_us since enqueue
+        assert batcher.due_in() == 0.0
+        batch = batcher.take_batch()
+        assert [p.payload for p in batch] == ["a"]
+
+    def test_delay_counts_from_oldest_request(self):
+        batcher, clock = make_batcher(max_delay_us=100.0)
+        batcher.submit("old")
+        clock.advance_us(60.0)
+        batcher.submit("new")
+        # The batch closes when the *oldest* entry has waited 100us, i.e. in
+        # 40us, not 100us from the second submit.
+        assert batcher.due_in() == pytest.approx(40.0 / 1e6)
+        clock.advance_us(40.0)
+        assert [p.payload for p in batcher.take_batch()] == ["old", "new"]
+
+    def test_zero_delay_closes_immediately(self):
+        batcher, _clock = make_batcher(max_delay_us=0.0)
+        batcher.submit("a")
+        assert batcher.due_in() == 0.0
+
+    def test_oversized_queue_closes_in_max_batch_chunks(self):
+        batcher, _clock = make_batcher(max_batch=3, max_queue=10)
+        for i in range(7):
+            batcher.submit(i)
+        assert [p.payload for p in batcher.take_batch()] == [0, 1, 2]
+        assert [p.payload for p in batcher.take_batch()] == [3, 4, 5]
+        assert [p.payload for p in batcher.take_batch()] == [6]
+        assert batcher.take_batch() == []
+        assert batcher.stats.batches == 3
+        assert batcher.stats.max_batch_seen == 3
+
+
+class TestBackpressure:
+    def test_rejects_at_exactly_capacity(self):
+        batcher, _clock = make_batcher(max_queue=6)
+        for i in range(6):
+            batcher.submit(i)
+        with pytest.raises(QueueFullError):
+            batcher.submit("overflow")
+        assert batcher.stats.rejected == 1
+        assert batcher.stats.requests == 6  # the rejection is not a request
+        assert batcher.queue_depth == 6
+
+    def test_capacity_frees_after_take_batch(self):
+        batcher, _clock = make_batcher(max_batch=4, max_queue=6)
+        for i in range(6):
+            batcher.submit(i)
+        with pytest.raises(QueueFullError):
+            batcher.submit("overflow")
+        batcher.take_batch()  # frees max_batch slots
+        pending = batcher.submit("accepted")
+        assert pending.payload == "accepted"
+        assert batcher.stats.rejected == 1
+
+    def test_closed_batcher_refuses_submissions(self):
+        batcher, _clock = make_batcher()
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit("late")
+
+
+class TestNoDropNoDouble:
+    def test_scripted_drive_completes_every_request_exactly_once(self):
+        """Drive a scripted arrival pattern through the policy the way the
+        dispatcher would; every submitted request is answered exactly once."""
+        batcher, clock = make_batcher(max_batch=4, max_delay_us=100.0,
+                                      max_queue=100)
+        submitted = {}
+        answered = []
+
+        def dispatch_ready():
+            while batcher.due_in() == 0.0:
+                for pending in batcher.take_batch():
+                    # A double-completion would raise InvalidStateError here.
+                    pending.future.set_result(f"result-{pending.payload}")
+                    answered.append(pending.payload)
+
+        serial = 0
+        # Bursts of varying size with gaps longer and shorter than max_delay.
+        for burst, gap_us in [(1, 150), (4, 10), (9, 0), (2, 400), (3, 99)]:
+            for _ in range(burst):
+                submitted[serial] = batcher.submit(serial)
+                serial += 1
+                dispatch_ready()
+            clock.advance_us(gap_us)
+            dispatch_ready()
+        # Flush the tail exactly like the dispatcher's close path.
+        batcher.close()
+        while batcher.queue_depth:
+            for pending in batcher.take_batch():
+                pending.future.set_result(f"result-{pending.payload}")
+                answered.append(pending.payload)
+
+        assert sorted(answered) == sorted(submitted)  # nothing dropped
+        assert len(answered) == len(set(answered))    # nothing answered twice
+        for payload, pending in submitted.items():
+            assert pending.future.done()
+            assert pending.future.result() == f"result-{payload}"
+            with pytest.raises(InvalidStateError):
+                pending.future.set_result("again")
+        stats = batcher.stats
+        assert stats.requests == len(submitted)
+        assert stats.coalesced == len(submitted)
+        assert stats.mean_batch_size == pytest.approx(
+            stats.coalesced / stats.batches
+        )
+
+    def test_fifo_order_is_preserved_across_batches(self):
+        batcher, _clock = make_batcher(max_batch=3, max_queue=50)
+        for i in range(10):
+            batcher.submit(i)
+        order = []
+        while batcher.queue_depth:
+            order.extend(p.payload for p in batcher.take_batch())
+        assert order == list(range(10))
+
+
+class TestAsyncDispatcher:
+    """The asyncio loop on top of the policy (real clock, loose timing)."""
+
+    def test_dispatcher_completes_futures_and_drains_on_close(self):
+        async def scenario():
+            batcher = RequestBatcher(max_batch=4, max_delay_us=1000.0,
+                                     max_queue=64)
+            calls = []
+
+            async def process(payloads):
+                calls.append(list(payloads))
+                return [p * 10 for p in payloads]
+
+            runner = asyncio.get_running_loop().create_task(
+                batcher.run(process)
+            )
+            pendings = [batcher.submit(i) for i in range(6)]
+            results = await asyncio.gather(
+                *(asyncio.wait_for(p.future, timeout=5) for p in pendings)
+            )
+            assert results == [0, 10, 20, 30, 40, 50]
+            # One full batch of 4, then the 2-entry tail on delay expiry.
+            assert [len(c) for c in calls] == [4, 2]
+            batcher.close()
+            await asyncio.wait_for(runner, timeout=5)
+
+        asyncio.run(scenario())
+
+    def test_dispatcher_propagates_processing_errors(self):
+        async def scenario():
+            batcher = RequestBatcher(max_batch=2, max_delay_us=0.0,
+                                     max_queue=8)
+
+            async def process(payloads):
+                raise RuntimeError("engine exploded")
+
+            runner = asyncio.get_running_loop().create_task(
+                batcher.run(process)
+            )
+            pending = batcher.submit("x")
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await asyncio.wait_for(pending.future, timeout=5)
+            batcher.close()
+            await asyncio.wait_for(runner, timeout=5)
+
+        asyncio.run(scenario())
+
+    def test_close_flushes_partial_batch_without_waiting_out_delay(self):
+        async def scenario():
+            # A delay far longer than the test: only the close-flush path can
+            # complete the future in time.
+            batcher = RequestBatcher(max_batch=64, max_delay_us=60_000_000.0,
+                                     max_queue=8)
+
+            async def process(payloads):
+                return list(payloads)
+
+            runner = asyncio.get_running_loop().create_task(
+                batcher.run(process)
+            )
+            pending = batcher.submit("tail")
+            batcher.close()
+            assert await asyncio.wait_for(pending.future, timeout=5) == "tail"
+            await asyncio.wait_for(runner, timeout=5)
+
+        asyncio.run(scenario())
+
+
+class TestValidationAndStats:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_delay_us": -1.0},
+        {"max_queue": 0},
+    ])
+    def test_rejects_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            make_batcher(**kwargs)
+
+    def test_stats_dict_shape(self):
+        stats = BatcherStats()
+        assert stats.mean_batch_size == 0.0
+        payload = stats.as_dict()
+        assert set(payload) == {
+            "requests", "rejected", "batches", "mean_batch_size",
+            "max_batch_seen", "max_queue_depth",
+        }
