@@ -3,7 +3,7 @@
 The paper evaluates four real forwarding tables (~180K single-field rules
 each) against TupleMerge: NuevoMatch achieves ~3.5× higher throughput and
 ~7.5× lower latency on every one of them.  We generate four backbone-like
-tables (DESIGN.md §4) and reproduce the comparison.
+tables (repro.rules.stanford) and reproduce the comparison.
 """
 
 from repro.analysis import format_table, geometric_mean

@@ -5,7 +5,7 @@ rather than ``conftest.py`` so the module name can never collide with the
 test suite's conftest; ``benchmarks/conftest.py`` only declares fixtures.
 
 Every file in this directory regenerates one table or figure of the paper
-(see DESIGN.md §3 for the index).  Benchmarks run at a reduced scale by
+(docs/benchmarks.md holds the index of machine-readable experiments).  Benchmarks run at a reduced scale by
 default so the whole suite finishes in minutes on a laptop; set the
 ``REPRO_SCALE`` environment variable to change that:
 

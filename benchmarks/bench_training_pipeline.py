@@ -1,0 +1,196 @@
+"""Training-pipeline benchmark — cold vs. parallel vs. warm-start build times.
+
+The paper's Figure 15 measures absolute RQ-RMI training cost; this benchmark
+measures what the :mod:`repro.core.pipeline` subsystem buys back on the build
+path:
+
+* **cold serial** — the legacy per-submodel trainer
+  (:meth:`RQRMI.train <repro.core.rqrmi.RQRMI.train>` loop), the baseline
+  every earlier PR built with;
+* **cold pipeline** — the vectorized stacked-Adam trainer at ``jobs=1`` and
+  fanned across a process pool at ``jobs=4``;
+* **warm retrain** — rebuilding after an update workload (rule modifications,
+  removals and insertions) with submodels seeded/reused from the previous
+  engine, against the same rebuild done cold;
+* **retrain-to-swap latency** — the ``UpdateQueue`` path end to end: the wall
+  time from the update that crosses the retrain threshold to the rebuilt
+  engine being swapped in, warm vs. cold.
+
+Every timed engine is verified against linear-search ground truth before its
+number is reported, so the speedups never come at the cost of the certified
+error-bound contract.
+
+Emits the BENCH json line / ``benchmarks/results/training_pipeline.json``
+consumed by ``scripts/bench_table.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.nuevomatch import NuevoMatch
+from repro.core.pipeline import TrainingPipeline
+from repro.rules.rule import Rule
+from repro.serving import ShardedEngine
+
+from bench_helpers import bench_nm_config, current_scale, report, report_json, ruleset
+
+#: Modification fraction of the update workload (§3.9-style churn).
+UPDATE_FRACTION = 0.02
+
+
+def _timed(fn, repeats: int = 1):
+    """Run ``fn`` ``repeats`` times; report the fastest wall time (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _update_workload(rules, fraction: float, seed: int = 7):
+    """Apply matching-set changes, removals and insertions to ``rules``."""
+    rng = np.random.default_rng(seed)
+    all_rules = list(rules)
+    budget = max(3, int(len(all_rules) * fraction))
+    victims = sorted(rng.choice(len(all_rules), size=budget, replace=False).tolist())
+    third = max(1, budget // 3)
+    modified = set(victims[:third])
+    removed = set(victims[third: 2 * third])
+    max_id = max(rule.rule_id for rule in all_rules)
+
+    new_rules = []
+    for position, rule in enumerate(all_rules):
+        if position in removed:
+            continue
+        if position in modified:
+            ranges = list(rule.ranges)
+            lo, hi = ranges[0]
+            ranges[0] = (lo, min(0xFFFFFFFF, hi + 1))
+            new_rules.append(Rule(tuple(ranges), priority=rule.priority,
+                                  action=rule.action, rule_id=rule.rule_id))
+        else:
+            new_rules.append(rule)
+    # Insertions: near-duplicates of existing rules at fresh ids.
+    for offset, position in enumerate(victims[2 * third:]):
+        donor = all_rules[position]
+        new_rules.append(Rule(donor.ranges, priority=donor.priority + 100_000,
+                              action=donor.action, rule_id=max_id + offset + 1))
+    return rules.subset(new_rules, name=f"{rules.name}-updated")
+
+
+def _verify(classifier, rules, seed: int) -> None:
+    classifier.verify(rules.sample_packets(200, seed=seed))
+
+
+def _retrain_to_swap_seconds(rules, config, warm_retrain: bool) -> float:
+    """Insert until the threshold trips; report the rebuild-to-swap latency."""
+    engine = ShardedEngine.build(
+        rules, shards=1, classifier="nm", remainder_classifier="tm",
+        config=config, background_retraining=False, retrain_threshold=0.2,
+        warm_retrain=warm_retrain,
+    )
+    try:
+        donor = rules.rules[0]
+        max_id = max(rule.rule_id for rule in rules)
+        for index in range(1, len(rules)):
+            engine.insert(Rule(donor.ranges, priority=200_000 + index,
+                               action=donor.action, rule_id=max_id + index))
+            if engine.updates.retrains_completed:
+                return engine.updates.last_retrain_seconds
+        raise AssertionError("retrain threshold never tripped")
+    finally:
+        engine.close()
+
+
+def test_training_pipeline(benchmark):
+    scale = current_scale()
+    size = scale["sizes"]["100K"]
+    rules = ruleset("acl1", size)
+    config = bench_nm_config("tm")
+
+    build_serial = lambda: NuevoMatch.build(
+        rules, remainder_classifier="tm", config=config
+    )
+    build_jobs = lambda jobs: NuevoMatch.build(
+        rules, remainder_classifier="tm", config=config,
+        pipeline=TrainingPipeline(jobs=jobs),
+    )
+
+    nm_serial, cold_serial_s = _timed(build_serial)
+    nm_pipe1, cold_pipe1_s = _timed(lambda: build_jobs(1))
+    nm_pipe4, cold_pipe4_s = _timed(lambda: build_jobs(4))
+    _verify(nm_serial, rules, seed=11)
+    _verify(nm_pipe1, rules, seed=11)
+    _verify(nm_pipe4, rules, seed=11)
+
+    updated = _update_workload(rules, UPDATE_FRACTION)
+    retrain_cold = lambda: NuevoMatch.build(
+        updated, remainder_classifier="tm", config=config,
+        pipeline=TrainingPipeline(jobs=1),
+    )
+    retrain_warm = lambda: NuevoMatch.build(
+        updated, remainder_classifier="tm", config=config,
+        pipeline=TrainingPipeline(jobs=1), warm_from=nm_pipe1,
+    )
+    nm_cold, cold_retrain_s = _timed(retrain_cold, repeats=2)
+    nm_warm, warm_retrain_s = _timed(retrain_warm, repeats=2)
+    _verify(nm_cold, updated, seed=13)
+    _verify(nm_warm, updated, seed=13)
+
+    swap_rules = ruleset("acl1", max(400, size // 8))
+    swap_cold_s = _retrain_to_swap_seconds(swap_rules, config, warm_retrain=False)
+    swap_warm_s = _retrain_to_swap_seconds(swap_rules, config, warm_retrain=True)
+
+    parallel_speedup = cold_serial_s / cold_pipe4_s
+    warm_speedup = cold_retrain_s / warm_retrain_s
+    swap_speedup = swap_cold_s / swap_warm_s
+
+    rows = [
+        ["cold build (serial loop)", round(cold_serial_s, 3), "1.00x"],
+        ["cold build (pipeline, jobs=1)", round(cold_pipe1_s, 3),
+         f"{cold_serial_s / cold_pipe1_s:.2f}x"],
+        ["cold build (pipeline, jobs=4)", round(cold_pipe4_s, 3),
+         f"{parallel_speedup:.2f}x"],
+        ["retrain after updates (cold)", round(cold_retrain_s, 3), "1.00x"],
+        ["retrain after updates (warm)", round(warm_retrain_s, 3),
+         f"{warm_speedup:.2f}x"],
+        ["retrain-to-swap (cold)", round(swap_cold_s, 3), "1.00x"],
+        ["retrain-to-swap (warm)", round(swap_warm_s, 3),
+         f"{swap_speedup:.2f}x"],
+    ]
+    report(
+        "training_pipeline",
+        format_table(
+            ["path", "seconds", "speedup"], rows,
+            title=f"training pipeline on acl1/{size} "
+                  f"(update churn {UPDATE_FRACTION:.0%})",
+        ),
+    )
+    warm_prov = nm_warm.training_provenance
+    report_json("training_pipeline", {
+        "experiment": "training_pipeline",
+        "ruleset": f"acl1/{size}",
+        "cold_serial_s": cold_serial_s,
+        "cold_pipeline_jobs1_s": cold_pipe1_s,
+        "cold_pipeline_jobs4_s": cold_pipe4_s,
+        "parallel_speedup": parallel_speedup,
+        "cold_retrain_s": cold_retrain_s,
+        "warm_retrain_s": warm_retrain_s,
+        "warm_speedup": warm_speedup,
+        "retrain_to_swap_cold_s": swap_cold_s,
+        "retrain_to_swap_warm_s": swap_warm_s,
+        "retrain_to_swap_speedup": swap_speedup,
+        "warm_submodels_reused": warm_prov.get("submodels_reused", 0),
+        "warm_submodels_trained": warm_prov.get("submodels_trained", 0),
+        "warm_cold_fallbacks": warm_prov.get("cold_fallbacks", 0),
+    })
+
+    # The headline claims of the pipeline PR, asserted loosely enough for CI
+    # noise: parallel build at least 2x over the serial loop, warm retrain at
+    # least 3x over a cold retrain of the same rules.
+    assert parallel_speedup >= 2.0, f"parallel build only {parallel_speedup:.2f}x"
+    assert warm_speedup >= 3.0, f"warm retrain only {warm_speedup:.2f}x"

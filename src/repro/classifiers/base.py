@@ -8,7 +8,7 @@ how many rule entries it touched, and how much pure compute it performed.
 The :mod:`repro.simulation` cost model turns those traces plus the
 :class:`MemoryFootprint` of the structure into latency/throughput estimates,
 which is how the paper's performance-shaped experiments are reproduced
-(see DESIGN.md §4).
+(see docs/ARCHITECTURE.md for where this sits in the stack).
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ optional top-level partitioning), optimising a global objective — tree depth
 *offline construction* device: the artefact the paper's evaluation consumes is
 the resulting decision tree, whose lookup behaviour is ordinary tree traversal.
 
-Reproduction substitution (see DESIGN.md §4): we keep the same action space
+Reproduction substitution: we keep the same action space
 (top-level partitioning by wildcard pattern, then per-node ``(dimension,
 number-of-cuts)`` choices) and the same objective, but optimise it with
 randomised sampling / hill-climbing over candidate trees instead of RL.  The

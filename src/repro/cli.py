@@ -8,6 +8,10 @@ Commands:
   iSet coverage, estimated centrality).
 * ``build``    — build a classifier (NuevoMatch or a baseline) over a rule-set
   file and report its structure: footprint, coverage, error bounds.
+* ``train``    — build an engine through the parallel training pipeline
+  (``--jobs N`` fans iSet training across processes, ``--warm-start SNAPSHOT``
+  seeds submodels from a previous engine) and persist the snapshot with its
+  training provenance.
 * ``compare``  — build NuevoMatch and a baseline over the same rule-set and
   report the modelled latency/throughput speedups on a uniform trace.
 * ``engine``   — the serving API: ``engine save`` builds a
@@ -112,6 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--baseline", default="tm", choices=_baseline_choices())
     cmp_.add_argument("--packets", type=int, default=500)
     cmp_.add_argument("--error-threshold", type=int, default=64)
+
+    train = sub.add_parser(
+        "train",
+        help="build an engine through the parallel training pipeline and "
+             "persist it (supports warm-starting from a previous snapshot)",
+    )
+    train.add_argument("ruleset", help="ClassBench-format rule-set file")
+    train.add_argument("output", help="engine snapshot path (.json or .json.gz)")
+    train.add_argument("--classifier", default="nm", choices=available_classifiers())
+    train.add_argument("--remainder", default="tm", choices=_baseline_choices())
+    train.add_argument("--error-threshold", type=int, default=64)
+    train.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for independent iSet training "
+                            "jobs (results are identical for any job count)")
+    train.add_argument("--warm-start", metavar="SNAPSHOT",
+                       help="seed RQ-RMI training from this engine snapshot: "
+                            "unchanged submodels are reused, changed ones "
+                            "retrain from the old weights (cold fallback when "
+                            "the error bound regresses)")
+    train.add_argument("--warm-epochs", type=int, default=None,
+                       help="Adam epochs for warm-started submodels "
+                            "(default: a third of the cold budget)")
+    train.add_argument("--serial-trainer", action="store_true",
+                       help="use the serial per-submodel trainer instead of "
+                            "the vectorized stacked trainer (baseline mode)")
 
     engine = sub.add_parser("engine", help="build, persist and serve engines")
     engine_sub = engine.add_subparsers(dest="engine_command", required=True)
@@ -323,6 +352,74 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"\nspeedup: {factors['latency']:.2f}x latency, "
           f"{factors['throughput']:.2f}x throughput "
           f"(coverage {nm.coverage:.1%}, {nm.num_isets} iSets)")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.pipeline import TrainingPipeline
+
+    ruleset = parse_classbench_file(args.ruleset)
+    params = {}
+    pipeline = None
+    warm_from = None
+    if args.warm_start and args.serial_trainer:
+        print(
+            "error: --warm-start requires the stacked trainer; drop "
+            "--serial-trainer to warm-start",
+            file=sys.stderr,
+        )
+        return 2
+    if args.classifier == "nm":
+        params = {
+            "remainder_classifier": args.remainder,
+            "config": _nm_config(args.error_threshold),
+        }
+        pipeline = TrainingPipeline(
+            jobs=args.jobs,
+            warm_epochs=args.warm_epochs,
+            vectorized=not args.serial_trainer,
+        )
+        if args.warm_start:
+            warm_from = ClassificationEngine.load(args.warm_start)
+            if warm_from.classifier_name != "nm":
+                print(
+                    f"error: --warm-start snapshot holds a "
+                    f"{warm_from.classifier_name!r} classifier; warm starting "
+                    "applies to trained (nm) engines",
+                    file=sys.stderr,
+                )
+                return 2
+    elif args.warm_start or args.jobs != 1:
+        print(
+            f"error: classifier {args.classifier!r} has no trained state; "
+            "--jobs/--warm-start apply to nm",
+            file=sys.stderr,
+        )
+        return 2
+    start = time.perf_counter()
+    engine = ClassificationEngine.build(
+        ruleset,
+        classifier=args.classifier,
+        pipeline=pipeline,
+        warm_from=warm_from,
+        **params,
+    )
+    build_seconds = time.perf_counter() - start
+    engine.save(args.output)
+    summary = {
+        "rules": len(ruleset),
+        "build wall s": round(build_seconds, 3),
+    }
+    for key, value in engine.metadata.get("training", {}).items():
+        summary[f"training {key}"] = (
+            round(value, 4) if isinstance(value, float) else value
+        )
+    print(format_kv(
+        summary, title=f"trained engine[{engine.classifier_name}] over {ruleset.name}"
+    ))
+    print(args.output)
     return 0
 
 
@@ -586,6 +683,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "build": _cmd_build,
     "compare": _cmd_compare,
+    "train": _cmd_train,
     "serve": _cmd_serve,
     "replay": _cmd_replay,
 }

@@ -9,6 +9,10 @@ Public API:
 * :class:`~repro.core.nuevomatch.NuevoMatch` — the end-to-end classifier.
 * :class:`~repro.core.config.RQRMIConfig` /
   :class:`~repro.core.config.NuevoMatchConfig` — configuration (Table 4, §5.1).
+* :class:`~repro.core.pipeline.TrainingPipeline` /
+  :class:`~repro.core.pipeline.PipelineConfig` — the vectorized, parallel,
+  warm-startable training pipeline (stacked batched Adam, process fan-out,
+  submodel reuse under recomputed error bounds).
 * :class:`~repro.core.updates.UpdatableNuevoMatch` and the §3.9 update model.
 * :mod:`~repro.core.metrics` — diversity and centrality (§3.7).
 """
@@ -22,6 +26,12 @@ from repro.core.config import (
 from repro.core.submodel import Submodel
 from repro.core.training import TrainingDataset, sample_responsibility, train_submodel
 from repro.core.rqrmi import RQRMI, RangeSet, RQRMILookup, TrainingReport
+from repro.core.pipeline import (
+    PipelineConfig,
+    TrainingPipeline,
+    train_rqrmi,
+    train_submodels_stacked,
+)
 from repro.core.isets import (
     ISet,
     PartitionResult,
@@ -57,6 +67,10 @@ __all__ = [
     "TrainingDataset",
     "sample_responsibility",
     "train_submodel",
+    "PipelineConfig",
+    "TrainingPipeline",
+    "train_rqrmi",
+    "train_submodels_stacked",
     "ISet",
     "PartitionResult",
     "max_independent_set",

@@ -194,6 +194,10 @@ class NuevoMatch(Classifier):
 
     name = "nm"
 
+    #: NuevoMatch builds accept the ``pipeline`` / ``warm_from`` keywords
+    #: (checked by :meth:`repro.engine.ClassificationEngine.build`).
+    supports_training_pipeline = True
+
     def __init__(
         self,
         ruleset: RuleSet,
@@ -209,8 +213,32 @@ class NuevoMatch(Classifier):
         self.partition = partition
         self.config = config
         self.build_seconds = build_seconds
+        #: How this instance was trained: pipeline mode, job count, warm-start
+        #: reuse counters.  JSON-safe; persisted by :meth:`to_state` and
+        #: surfaced by :meth:`statistics`.
+        self.training_provenance: dict[str, object] = {"mode": "serial"}
 
     # ------------------------------------------------------------------ build
+
+    @staticmethod
+    def _match_warm_isets(isets, warm_from: "NuevoMatch | None") -> list:
+        """Pair each new iSet with a previous trained RQ-RMI to seed from.
+
+        iSets are matched by field (``dim``) in order: the k-th new iSet on a
+        field warms from the k-th old iSet on that field.  Unmatched iSets
+        train cold; structural incompatibilities (stage widths, key domain)
+        are detected downstream and also fall back to cold.
+        """
+        if warm_from is None:
+            return [None] * len(isets)
+        pool: dict[int, list[RQRMI]] = {}
+        for old in warm_from.isets:
+            pool.setdefault(old.dim, []).append(old.model)
+        matched = []
+        for iset in isets:
+            candidates = pool.get(iset.dim)
+            matched.append(candidates.pop(0) if candidates else None)
+        return matched
 
     @classmethod
     def build(
@@ -218,6 +246,8 @@ class NuevoMatch(Classifier):
         ruleset: RuleSet,
         remainder_classifier: Type[Classifier] | str = "tm",
         config: NuevoMatchConfig | None = None,
+        pipeline: "TrainingPipeline | None" = None,
+        warm_from: "NuevoMatch | None" = None,
         **remainder_params,
     ) -> "NuevoMatch":
         """Construct NuevoMatch over ``ruleset``.
@@ -231,6 +261,16 @@ class NuevoMatch(Classifier):
                 against.
             config: NuevoMatch configuration; defaults follow the paper
                 (error threshold 64, iSet coverage cut-off 25%).
+            pipeline: A :class:`~repro.core.pipeline.TrainingPipeline` — iSet
+                models train through the vectorized stacked trainer, fanned
+                across ``pipeline.jobs`` processes.  ``None`` (with no
+                ``warm_from``) keeps the serial per-submodel trainer.
+            warm_from: A previously built NuevoMatch over an earlier version
+                of the rules; matching iSets seed their RQ-RMI training from
+                the old weights and submodels whose responsibility content is
+                unchanged are reused outright (error bounds are recomputed or
+                carried over analytically either way).  Implies the pipeline
+                trainer.
             **remainder_params: Extra arguments passed to the remainder
                 classifier's ``build`` (e.g. ``binth``).
         """
@@ -248,16 +288,51 @@ class NuevoMatch(Classifier):
             max_isets=config.max_isets,
             min_coverage=config.min_iset_coverage,
         )
-        isets = [
-            ISetIndex.train(iset, ruleset.schema, config.rqrmi)
-            for iset in partition.isets
-        ]
+        if pipeline is None and warm_from is None:
+            isets = [
+                ISetIndex.train(iset, ruleset.schema, config.rqrmi)
+                for iset in partition.isets
+            ]
+            provenance: dict[str, object] = {"mode": "serial"}
+        else:
+            from repro.core.pipeline import TrainingPipeline
+
+            pipeline = pipeline or TrainingPipeline()
+            warm_models = cls._match_warm_isets(partition.isets, warm_from)
+            specs = [
+                (
+                    RangeSet.from_integer_ranges(
+                        iset.ranges(), ruleset.schema[iset.dim].domain_size
+                    ),
+                    config.rqrmi,
+                    warm_model,
+                )
+                for iset, warm_model in zip(partition.isets, warm_models)
+            ]
+            models = pipeline.train_many(specs)
+            isets = [
+                ISetIndex(iset, model)
+                for iset, model in zip(partition.isets, models)
+            ]
+            provenance = {"mode": "pipeline", **pipeline.describe()}
+            provenance.update(
+                warm_started=any(m.report.warm_started for m in models),
+                submodels_trained=sum(m.report.submodels_trained for m in models),
+                submodels_reused=sum(m.report.submodels_reused for m in models),
+                warm_trained=sum(m.report.warm_trained for m in models),
+                cold_fallbacks=sum(m.report.cold_fallbacks for m in models),
+            )
         params = dict(config.remainder_params)
         params.update(remainder_params)
         remainder_rules = ruleset.subset(partition.remainder, name=f"{ruleset.name}-remainder")
         remainder = remainder_cls.build(remainder_rules, **params)
         build_seconds = time.perf_counter() - start
-        return cls(ruleset, isets, remainder, partition, config, build_seconds)
+        instance = cls(ruleset, isets, remainder, partition, config, build_seconds)
+        provenance["training_seconds"] = sum(
+            index.model.report.training_seconds for index in isets
+        )
+        instance.training_provenance = provenance
+        return instance
 
     # ------------------------------------------------------------------ lookup
 
@@ -396,6 +471,7 @@ class NuevoMatch(Classifier):
             training_seconds=sum(
                 iset.model.report.training_seconds for iset in self.isets
             ),
+            training=dict(self.training_provenance),
         )
         return stats
 
@@ -417,6 +493,7 @@ class NuevoMatch(Classifier):
             "kind": self.name,
             "config": config_state,
             "build_seconds": self.build_seconds,
+            "training": dict(self.training_provenance),
             "isets": [iset.to_state() for iset in self.isets],
             "remainder_rule_ids": [rule.rule_id for rule in self.partition.remainder],
             "remainder": self.remainder.to_state(),
@@ -447,7 +524,7 @@ class NuevoMatch(Classifier):
             remainder_rules, name=f"{ruleset.name}-remainder"
         )
         remainder = remainder_cls.from_state(remainder_state, remainder_ruleset)
-        return cls(
+        instance = cls(
             ruleset,
             isets,
             remainder,
@@ -455,3 +532,5 @@ class NuevoMatch(Classifier):
             config,
             build_seconds=float(state.get("build_seconds", 0.0)),
         )
+        instance.training_provenance = dict(state.get("training", {"mode": "serial"}))
+        return instance

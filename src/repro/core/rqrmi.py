@@ -111,7 +111,16 @@ class RQRMILookup:
 
 @dataclass
 class TrainingReport:
-    """Statistics gathered while training one RQ-RMI model."""
+    """Statistics gathered while training one RQ-RMI model.
+
+    The provenance fields (``trainer`` onward) record *how* the model was
+    built: ``trainer`` is ``"loop"`` for the serial per-submodel path below or
+    ``"stacked"`` for the vectorized :mod:`repro.core.pipeline` trainer;
+    ``warm_started`` marks models seeded from a previous RQ-RMI, with
+    ``submodels_reused`` / ``warm_trained`` / ``cold_fallbacks`` counting how
+    each last-stage submodel was obtained (reused verbatim, refined from the
+    old weights, or retrained cold after the warm bound regressed).
+    """
 
     stage_widths: list[int] = field(default_factory=list)
     num_ranges: int = 0
@@ -121,6 +130,11 @@ class TrainingReport:
     max_error_bound: int = 0
     error_bounds: list[int] = field(default_factory=list)
     converged: bool = True
+    trainer: str = "loop"
+    warm_started: bool = False
+    submodels_reused: int = 0
+    warm_trained: int = 0
+    cold_fallbacks: int = 0
 
 
 class RQRMI:
@@ -298,43 +312,52 @@ class RQRMI:
         domain = ranges.domain_size
         pad = 1.0 / domain
         transitions = np.array(candidate.transition_inputs(num_ranges), dtype=np.float64)
-        points: list[float] = []
-        true_indices: list[int] = []
+        points_parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
         for a, b in intervals:
             a_pad, b_pad = a - pad, b + pad
             first = int(np.searchsorted(ranges.hi, a_pad, side="left"))
             last = int(np.searchsorted(ranges.lo, b_pad, side="right"))
             if first >= last:
                 continue
+            # Boundary evaluation points: every intersecting range's bounds,
+            # clipped to the padded responsibility.
+            lo_clip = np.maximum(ranges.lo[first:last], a_pad)
+            hi_clip = np.minimum(ranges.hi[first:last], b_pad)
+            valid = lo_clip <= hi_clip
+            idx = np.arange(first, last, dtype=np.int64)[valid]
+            points_parts += [lo_clip[valid], hi_clip[valid]]
+            index_parts += [idx, idx]
             if len(transitions):
                 mask = (transitions >= a_pad) & (transitions <= b_pad)
-                local_transitions = transitions[mask]
-            else:
-                local_transitions = transitions
-            for range_index in range(first, last):
-                lo = max(float(ranges.lo[range_index]), a_pad)
-                hi = min(float(ranges.hi[range_index]), b_pad)
-                if lo > hi:
-                    continue
-                eval_points = [lo, hi]
-                if len(local_transitions):
-                    inner = local_transitions[
-                        (local_transitions >= lo) & (local_transitions <= hi)
-                    ]
-                    for t in inner:
-                        key = math.floor(t * domain)
-                        for snapped in (key / domain, (key + 1) / domain):
-                            if lo <= snapped <= hi:
-                                eval_points.append(snapped)
-                        eval_points.append(float(t))
-                points.extend(eval_points)
-                true_indices.extend([range_index] * len(eval_points))
-        if not points:
+                ts = transitions[mask]
+                if len(ts):
+                    # Ranges are disjoint and sorted, so each transition
+                    # belongs to at most the range searchsorted lands it in.
+                    pos = np.searchsorted(ranges.lo, ts, side="right") - 1
+                    safe = np.clip(pos, 0, num_ranges - 1)
+                    inside = (pos >= first) & (pos < last) & (ts <= ranges.hi[safe])
+                    ts, pos = ts[inside], pos[inside]
+                if len(ts):
+                    t_lo = np.maximum(ranges.lo[pos], a_pad)
+                    t_hi = np.minimum(ranges.hi[pos], b_pad)
+                    keys = np.floor(ts * domain)
+                    for snapped in (keys / domain, (keys + 1.0) / domain):
+                        good = (snapped >= t_lo) & (snapped <= t_hi)
+                        points_parts.append(snapped[good])
+                        index_parts.append(pos[good])
+                    points_parts.append(ts)
+                    index_parts.append(pos)
+        if not points_parts:
             return 0
+        points = np.concatenate(points_parts)
+        if not len(points):
+            return 0
+        true_indices = np.concatenate(index_parts)
         predicted = cls._predict_index_static(
-            trained_stages, candidate, widths, np.array(points), num_ranges
+            trained_stages, candidate, widths, points, num_ranges
         )
-        return int(np.max(np.abs(predicted - np.array(true_indices, dtype=np.int64))))
+        return int(np.max(np.abs(predicted - true_indices)))
 
     @staticmethod
     def _predict_index_static(

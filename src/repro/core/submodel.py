@@ -52,6 +52,10 @@ class Submodel:
         self.b2 = float(self.b2)
         if not (self.w1.shape == self.b1.shape == self.w2.shape):
             raise ValueError("w1, b1 and w2 must have the same length")
+        # Transition inputs are a pure function of the (frozen-by-convention)
+        # weights; memoising them makes re-certifying a *reused* submodel
+        # against changed ranges cheap — the hot step of warm-start retraining.
+        self._transition_cache: dict = {}
 
     # -- forward pass ------------------------------------------------------------
 
@@ -135,32 +139,37 @@ class Submodel:
 
         Computed per linear segment between adjacent trigger inputs by
         intersecting the segment with the quantisation levels ``y = k / width``
-        (Lemma A.8).
+        (Lemma A.8).  Results are memoised per ``(width, domain)``; callers
+        must treat the returned list as read-only.
         """
         if width < 1:
             raise ValueError("width must be at least 1")
+        cache_key = (width, domain)
+        cached = self._transition_cache.get(cache_key)
+        if cached is not None:
+            return cached
         triggers = self.trigger_inputs(domain)
-        transitions: set[float] = set()
+        # Trigger inputs themselves may be transition inputs (slope change
+        # with a bucket change across them); including them is harmless and
+        # keeps the evaluation-point set conservative.
+        parts: list[np.ndarray] = [np.asarray(triggers, dtype=np.float64)]
         for a, b in zip(triggers[:-1], triggers[1:]):
             ma, mb = self(a), self(b)
             qa, qb = int(ma * width), int(mb * width)
             if qa == qb:
                 continue
-            lo_q, hi_q = min(qa, qb), max(qa, qb)
             if ma == mb:
                 continue
-            for level_index in range(lo_q + 1, hi_q + 1):
-                level = level_index / width
-                # M is linear on [a, b]; solve M(x) = level.
-                x = a + (level - ma) * (b - a) / (mb - ma)
-                if domain[0] <= x <= domain[1]:
-                    transitions.add(float(x))
-        # Trigger inputs themselves may be transition inputs (slope change with
-        # a bucket change across them); including them is harmless and keeps
-        # the evaluation-point set conservative.
-        for t in triggers:
-            transitions.add(t)
-        return sorted(transitions)
+            lo_q, hi_q = min(qa, qb), max(qa, qb)
+            # M is linear on [a, b]; solve M(x) = k / width for every crossed
+            # quantisation level at once (same expression evaluation order as
+            # a scalar loop, so the solutions are bitwise identical).
+            levels = np.arange(lo_q + 1, hi_q + 1, dtype=np.float64) / width
+            xs = a + (levels - ma) * (b - a) / (mb - ma)
+            parts.append(xs[(xs >= domain[0]) & (xs <= domain[1])])
+        result = [float(x) for x in np.unique(np.concatenate(parts))]
+        self._transition_cache[cache_key] = result
+        return result
 
     def max_error_on_points(
         self, points: np.ndarray, true_indices: np.ndarray, width: int
@@ -170,6 +179,26 @@ class Submodel:
             return 0
         predicted = self.bucket_batch(np.asarray(points, dtype=np.float64), width)
         return int(np.max(np.abs(predicted - np.asarray(true_indices, dtype=np.int64))))
+
+    # -- weight export ---------------------------------------------------------------
+
+    def weights(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """The trained parameters as a ``(w1, b1, w2, b2)`` tuple.
+
+        Used as the warm-start ``init`` of a retrained submodel (the training
+        pipeline seeds new submodels from the engine being replaced).
+        """
+        return self.w1, self.b1, self.w2, self.b2
+
+    def copy(self) -> "Submodel":
+        """An independent copy (fresh weight arrays).
+
+        The transition-input memo is shared: both copies hold the same
+        weights, so their transition inputs are identical by construction.
+        """
+        duplicate = Submodel(self.w1.copy(), self.b1.copy(), self.w2.copy(), self.b2)
+        duplicate._transition_cache = self._transition_cache
+        return duplicate
 
     # -- serialisation / size --------------------------------------------------------
 

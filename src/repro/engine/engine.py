@@ -114,6 +114,8 @@ class ClassificationEngine:
         ruleset: RuleSet,
         classifier: str | type[Classifier] = "nm",
         metadata: dict | None = None,
+        pipeline=None,
+        warm_from=None,
         **params,
     ) -> "ClassificationEngine":
         """Build an engine over ``ruleset``.
@@ -123,13 +125,40 @@ class ClassificationEngine:
             classifier: Registry name/alias (``"nm"``, ``"tuplemerge"``, …) or
                 a :class:`Classifier` subclass.
             metadata: Free-form annotations persisted with :meth:`save`.
+            pipeline: A :class:`~repro.core.pipeline.TrainingPipeline` for
+                classifiers with trained state (NuevoMatch): stage training
+                runs vectorized and fans across ``pipeline.jobs`` processes.
+            warm_from: A previous engine (or its classifier) over an earlier
+                version of the rules; trained submodels are seeded/reused
+                from it (see :meth:`NuevoMatch.build
+                <repro.core.nuevomatch.NuevoMatch.build>`).
             **params: Forwarded to the classifier's ``build`` (e.g. ``config``
                 for NuevoMatch, ``binth`` for the tree baselines).
+
+        The resulting training provenance (pipeline mode, job count,
+        warm-start reuse counters) is recorded under the engine metadata's
+        ``"training"`` key and persisted by :meth:`save`.
         """
         classifier_cls = (
             resolve_classifier(classifier) if isinstance(classifier, str) else classifier
         )
-        return cls(classifier_cls.build(ruleset, **params), metadata=metadata)
+        pipelined = pipeline is not None or warm_from is not None
+        if pipelined:
+            if not getattr(classifier_cls, "supports_training_pipeline", False):
+                raise ValueError(
+                    f"classifier {classifier_cls.name!r} has no trained state; "
+                    "pipeline/warm_from apply to NuevoMatch-style classifiers"
+                )
+            if warm_from is not None and isinstance(warm_from, cls):
+                warm_from = warm_from.classifier
+            params["pipeline"] = pipeline
+            params["warm_from"] = warm_from
+        built = classifier_cls.build(ruleset, **params)
+        provenance = getattr(built, "training_provenance", None)
+        if pipelined and provenance:
+            metadata = dict(metadata or {})
+            metadata.setdefault("training", dict(provenance))
+        return cls(built, metadata=metadata)
 
     # ------------------------------------------------------------------ serve
 

@@ -19,7 +19,9 @@ controls and that the paper's experiments are sensitive to:
   seeds so prefixes nest and overlap the way real filter sets do;
 * value diversity per field — the property that drives iSet coverage (§3.7).
 
-See DESIGN.md §4 for why this substitution preserves the paper's behaviour.
+The substitution preserves the paper's behaviour because every experiment
+consumes only these structural properties (coverage, diversity, range
+shapes), never the exact ClassBench parameter files.
 """
 
 from __future__ import annotations

@@ -1,11 +1,21 @@
 """Rule-set partitioning strategies for sharded serving.
 
 The paper scales NuevoMatch's throughput by splitting the rule-set across
-cores; :func:`partition_for_shards` reproduces that split.  The default
-strategy keeps each iSet whole on one shard (via
-:func:`repro.core.isets.partition_shards`), preserving the non-overlap
-property each shard's RQ-RMIs rely on, and falls back to plain round-robin
-when the rule-set yields no usable iSets.
+cores; :func:`partition_for_shards` reproduces that split.  Strategies
+(:data:`PARTITIONERS`):
+
+* ``"isets"`` — keep each iSet whole on one shard (via
+  :func:`repro.core.isets.partition_shards`: large iSets are chunked, then
+  groups are balanced LPT-style by rule count), preserving the non-overlap
+  property each shard's RQ-RMIs rely on;
+* ``"round-robin"`` — deal rules out cyclically, ignoring structure;
+* ``"auto"`` (default) — compute the iSet partition once and use it both to
+  choose the strategy and to feed the split, falling back to round-robin
+  when the rule-set yields no usable iSets.
+
+Every rule lands on exactly one shard, so a sharded engine queries all
+shards and merges winners by ``(priority, rule_id)`` — exactly how
+NuevoMatch's selector merges its iSets (see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

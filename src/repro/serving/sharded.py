@@ -40,6 +40,7 @@ from repro.classifiers.base import (
     MemoryFootprint,
 )
 from repro.core.nuevomatch import NuevoMatch
+from repro.core.pipeline import TrainingPipeline
 from repro.engine.engine import BatchReport, ClassificationEngine, serve_in_batches
 from repro.engine.serialization import (
     SHARDED_FILE_VERSION,
@@ -266,8 +267,21 @@ class _Shard:
             }
 
 
-def _rebuild_shard_engine(shard: _Shard) -> tuple[ClassificationEngine, int]:
-    """Build a fresh engine over a shard's live rules (outside its lock)."""
+def _rebuild_shard_engine(
+    shard: _Shard,
+    pipeline: "TrainingPipeline | None" = None,
+    warm: bool = False,
+) -> tuple[ClassificationEngine, int]:
+    """Build a fresh engine over a shard's live rules (outside its lock).
+
+    With ``warm`` (the default for sharded serving), a NuevoMatch shard's
+    retrain is seeded from the engine being replaced: unchanged submodels are
+    reused under their certified bounds and only submodels whose
+    responsibility content changed retrain (see
+    :mod:`repro.core.pipeline`) — the retrain-to-swap latency shrinks
+    accordingly.  Baseline classifiers have no trained state and always
+    rebuild from parameters.
+    """
     live, snapshot_seq = shard.begin_retrain()
     old = shard.engine.classifier
     if isinstance(old, NuevoMatch):
@@ -275,6 +289,8 @@ def _rebuild_shard_engine(shard: _Shard) -> tuple[ClassificationEngine, int]:
             live,
             remainder_classifier=type(old.remainder),
             config=old.config,
+            pipeline=pipeline,
+            warm_from=old if warm else None,
             **old.remainder.build_params,
         )
     else:
@@ -324,6 +340,8 @@ class ShardedEngine:
         executor: str = "thread",
         retrain_threshold: float = DEFAULT_RETRAIN_THRESHOLD,
         background_retraining: bool = True,
+        warm_retrain: bool = True,
+        retrain_jobs: int = 1,
         metadata: dict | None = None,
     ):
         if not engines:
@@ -347,10 +365,16 @@ class ShardedEngine:
         self._partitioner = partitioner
         self._executor_kind = executor
         self.metadata = dict(metadata or {})
+        self._warm_retrain = warm_retrain
+        self._retrain_jobs = retrain_jobs
+        self._retrain_pipeline = (
+            TrainingPipeline(jobs=retrain_jobs) if warm_retrain or retrain_jobs > 1
+            else None
+        )
         self._shards = [_Shard(index, engine) for index, engine in enumerate(engines)]
         self.updates = UpdateQueue(
             self._shards,
-            rebuild=_rebuild_shard_engine,
+            rebuild=self._rebuild_shard,
             retrain_threshold=retrain_threshold,
             background=background_retraining,
         )
@@ -358,6 +382,12 @@ class ShardedEngine:
         self._process_pool: ProcessPoolExecutor | None = None
         self._process_generations: list[int] | None = None
         self._pool_lock = threading.Lock()
+
+    def _rebuild_shard(self, shard: _Shard) -> tuple[ClassificationEngine, int]:
+        """The UpdateQueue rebuild hook: warm-start through the pipeline."""
+        return _rebuild_shard_engine(
+            shard, pipeline=self._retrain_pipeline, warm=self._warm_retrain
+        )
 
     # ------------------------------------------------------------------ build
 
@@ -371,6 +401,9 @@ class ShardedEngine:
         executor: str = "thread",
         retrain_threshold: float = DEFAULT_RETRAIN_THRESHOLD,
         background_retraining: bool = True,
+        warm_retrain: bool = True,
+        retrain_jobs: int = 1,
+        pipeline=None,
         metadata: dict | None = None,
         **params,
     ) -> "ShardedEngine":
@@ -387,12 +420,19 @@ class ShardedEngine:
             retrain_threshold: Remainder fraction triggering a shard retrain.
             background_retraining: Retrain in a worker thread (default) or
                 inline during the triggering update (deterministic).
+            warm_retrain: Seed shard retrains from the engine being replaced
+                (NuevoMatch shards; see :mod:`repro.core.pipeline`).
+            retrain_jobs: Process-pool width for a retrain's iSet training.
+            pipeline: Optional :class:`~repro.core.pipeline.TrainingPipeline`
+                for the *initial* per-shard builds (NuevoMatch only).
             metadata: Free-form annotations persisted with :meth:`save`.
             **params: Forwarded to each shard's classifier ``build``.
         """
         shard_rulesets = partition_for_shards(ruleset, shards, partitioner)
         engines = [
-            ClassificationEngine.build(shard_rules, classifier=classifier, **params)
+            ClassificationEngine.build(
+                shard_rules, classifier=classifier, pipeline=pipeline, **params
+            )
             for shard_rules in shard_rulesets
         ]
         return cls(
@@ -401,6 +441,8 @@ class ShardedEngine:
             executor=executor,
             retrain_threshold=retrain_threshold,
             background_retraining=background_retraining,
+            warm_retrain=warm_retrain,
+            retrain_jobs=retrain_jobs,
             metadata=metadata,
         )
 
@@ -603,6 +645,8 @@ class ShardedEngine:
             "num_shards": self.num_shards,
             "executor": self._executor_kind,
             "partitioner": self._partitioner,
+            "warm_retrain": self._warm_retrain,
+            "retrain_jobs": self._retrain_jobs,
             "num_rules": sum(self.shard_sizes()),
             "shards": [shard.statistics() for shard in self._shards],
             "updates": self.updates.statistics(),
@@ -642,6 +686,8 @@ class ShardedEngine:
                 "partitioner": self._partitioner,
                 "executor": self._executor_kind,
                 "retrain_threshold": self.updates.retrain_threshold,
+                "warm_retrain": self._warm_retrain,
+                "retrain_jobs": self._retrain_jobs,
                 "metadata": self.metadata,
                 "shards": shards_state,
             },
@@ -684,6 +730,8 @@ class ShardedEngine:
                 "retrain_threshold", DEFAULT_RETRAIN_THRESHOLD
             ),
             background_retraining=background_retraining,
+            warm_retrain=document.get("warm_retrain", True),
+            retrain_jobs=document.get("retrain_jobs", 1),
             metadata=document.get("metadata"),
         )
         for shard, shard_state in zip(sharded._shards, document["shards"]):

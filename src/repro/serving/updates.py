@@ -14,7 +14,11 @@ shard:
   remainder plus overlay, over the live rules) crosses the threshold, its
   engine is rebuilt over a live snapshot in a worker thread and swapped in
   atomically; updates that arrive mid-retrain stay in the overlay until the
-  next cycle.
+  next cycle.  The rebuild goes through the warm-start training pipeline by
+  default (:mod:`repro.core.pipeline`): new RQ-RMI submodels are seeded from
+  the engine being replaced and only submodels whose responsibility content
+  changed retrain, shrinking the retrain-to-swap latency — the queue records
+  it per retrain (``last_retrain_seconds`` / ``retrain_seconds_total``).
 * **invalidation listeners** — downstream result caches (the
   :class:`~repro.serving.flowcache.FlowCache` hot path) register a listener
   with :meth:`UpdateQueue.add_listener`; it fires after the update is applied
@@ -33,6 +37,7 @@ lookups after the update call returns.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional, Sequence
 
 from repro.rules.rule import Rule
@@ -82,6 +87,11 @@ class UpdateQueue:
         self.inserts_applied = 0
         self.removes_applied = 0
         self.retrains_triggered = 0
+        self.retrains_completed = 0
+        #: Rebuild-to-swap wall time of the most recent / all completed
+        #: retrains (the latency the paper's §3.9 update story is bounded by).
+        self.last_retrain_seconds = 0.0
+        self.retrain_seconds_total = 0.0
         self.reindex()
 
     def reindex(self) -> None:
@@ -191,6 +201,7 @@ class UpdateQueue:
             self._retrain(shard)
 
     def _retrain(self, shard) -> None:
+        start = time.perf_counter()
         try:
             new_engine, snapshot_seq = self._rebuild(shard)
         except Exception:
@@ -198,6 +209,11 @@ class UpdateQueue:
                 shard.retraining = False
             raise
         shard.complete_retrain(new_engine, snapshot_seq)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.retrains_completed += 1
+            self.last_retrain_seconds = elapsed
+            self.retrain_seconds_total += elapsed
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for in-flight background retrains (None blocks indefinitely)."""
@@ -215,6 +231,9 @@ class UpdateQueue:
             "inserts_applied": self.inserts_applied,
             "removes_applied": self.removes_applied,
             "retrains_triggered": self.retrains_triggered,
+            "retrains_completed": self.retrains_completed,
+            "last_retrain_seconds": self.last_retrain_seconds,
+            "retrain_seconds_total": self.retrain_seconds_total,
             "retrain_threshold": self.retrain_threshold,
             "background": self.background,
             "pending_inserted": sum(len(s.inserted) for s in self._shards),

@@ -19,7 +19,10 @@ provides that client side:
 
 Traces come from :func:`repro.workloads.make_trace`, so the §5.1.1 skew
 regimes (uniform / zipf-{80,85,90,95} / caida) apply to network serving
-unchanged.
+unchanged.  The wire protocol the clients speak is specified in
+docs/PROTOCOL.md; ``overloaded`` rejections from the server's bounded queue
+are counted per :class:`LoadReport` rather than raised, so offered-load
+sweeps can ride through backpressure.
 """
 
 from __future__ import annotations

@@ -79,6 +79,51 @@ class TestCompare:
         assert "nm(tm)" in out
 
 
+class TestTrain:
+    def test_train_builds_and_persists_with_provenance(
+        self, ruleset_file, tmp_path, capsys
+    ):
+        from repro.engine import ClassificationEngine
+
+        out = tmp_path / "engine.json.gz"
+        assert main(["train", str(ruleset_file), str(out), "--jobs", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "training mode" in printed
+        engine = ClassificationEngine.load(out)
+        assert engine.metadata["training"]["mode"] == "pipeline"
+        assert engine.metadata["training"]["jobs"] == 2
+
+    def test_train_warm_start_from_snapshot(self, ruleset_file, tmp_path, capsys):
+        cold = tmp_path / "cold.json.gz"
+        warm = tmp_path / "warm.json.gz"
+        assert main(["train", str(ruleset_file), str(cold)]) == 0
+        assert main(["train", str(ruleset_file), str(warm),
+                     "--warm-start", str(cold)]) == 0
+        printed = capsys.readouterr().out
+        import re
+
+        assert re.search(r"training warm_started\s*: True", printed)
+
+    def test_train_rejects_warm_start_for_stateless_classifier(
+        self, ruleset_file, tmp_path, capsys
+    ):
+        out = tmp_path / "tm.json.gz"
+        code = main(["train", str(ruleset_file), str(out),
+                     "--classifier", "tm", "--jobs", "4"])
+        assert code == 2
+        assert "no trained state" in capsys.readouterr().err
+
+    def test_train_rejects_non_nm_warm_source(self, ruleset_file, tmp_path, capsys):
+        baseline = tmp_path / "tm.json.gz"
+        assert main(["train", str(ruleset_file), str(baseline),
+                     "--classifier", "tm"]) == 0
+        out = tmp_path / "warm.json.gz"
+        code = main(["train", str(ruleset_file), str(out),
+                     "--warm-start", str(baseline)])
+        assert code == 2
+        assert "warm starting" in capsys.readouterr().err
+
+
 class TestServeListen:
     def test_parser_accepts_coalescing_options(self):
         args = build_parser().parse_args(

@@ -1,0 +1,382 @@
+"""Tests for the parallel warm-start training pipeline (repro.core.pipeline).
+
+The pipeline's three contracts, in test form:
+
+* **determinism** — ``jobs=1`` and ``jobs=4`` builds produce identical
+  engines; warm-starting from the same source twice produces identical
+  weights;
+* **certification** — however a submodel was obtained (stacked cold training,
+  verbatim reuse, warm refinement, cold fallback), the per-leaf error bound
+  holds analytically over sampled keys and the end-to-end classifier matches
+  linear-search ground truth;
+* **fallback** — a warm source whose weights cannot certify the new ranges
+  falls back to cold training instead of shipping a regressed bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import NuevoMatchConfig, RQRMIConfig
+from repro.core.nuevomatch import NuevoMatch
+from repro.core.pipeline import (
+    PipelineConfig,
+    TrainingPipeline,
+    train_rqrmi,
+    train_submodels_stacked,
+)
+from repro.core.rqrmi import RQRMI, RangeSet
+from repro.core.submodel import Submodel
+from repro.core.training import sample_responsibility, train_submodel
+from repro.engine import ClassificationEngine
+from repro.rules import generate_classbench
+from repro.rules.rule import Rule
+from repro.serving import ShardedEngine
+
+from _helpers import fast_nm_config
+
+
+def _disjoint_ranges(count: int, seed: int, domain: int = 1 << 32):
+    rng = np.random.default_rng(seed)
+    points = np.sort(
+        rng.choice(domain, size=2 * count, replace=False).astype(np.int64)
+    )
+    return [(int(points[2 * i]), int(points[2 * i + 1])) for i in range(count)]
+
+
+def _model_states_sans_timing(nm: NuevoMatch) -> str:
+    """Canonical weights+bounds serialization, ignoring wall-clock fields."""
+    state = nm.to_state()
+    for iset_state in state["isets"]:
+        iset_state["model"]["report"] = None
+    state["training"] = None
+    state["build_seconds"] = None
+    return json.dumps(state, sort_keys=True)
+
+
+def _modify_rules(rules, count: int, seed: int = 7):
+    """An update workload: widen ``count`` rules' first field by one."""
+    rng = np.random.default_rng(seed)
+    positions = set(rng.choice(len(rules.rules), size=count, replace=False).tolist())
+    changed = []
+    for position, rule in enumerate(rules.rules):
+        if position in positions:
+            ranges = list(rule.ranges)
+            lo, hi = ranges[0]
+            ranges[0] = (lo, min(0xFFFFFFFF, hi + 1))
+            changed.append(Rule(tuple(ranges), priority=rule.priority,
+                                action=rule.action, rule_id=rule.rule_id))
+        else:
+            changed.append(rule)
+    return rules.subset(changed, name=f"{rules.name}-modified")
+
+
+@pytest.fixture(scope="module")
+def acl_rules():
+    return generate_classbench("acl1", 1500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def nm_config():
+    return fast_nm_config()
+
+
+@pytest.fixture(scope="module")
+def base_engine(acl_rules, nm_config):
+    return NuevoMatch.build(
+        acl_rules, remainder_classifier="tm", config=nm_config,
+        pipeline=TrainingPipeline(jobs=1),
+    )
+
+
+class TestStackedTrainer:
+    def test_matches_serial_quality(self):
+        domain = 1 << 24
+        ranges = _disjoint_ranges(200, seed=1, domain=domain)
+        rset = RangeSet.from_integer_ranges(ranges, domain)
+        rng = np.random.default_rng(2)
+        datasets = [
+            sample_responsibility(
+                [(i / 4, (i + 1) / 4)], rset.lo, rset.hi, 400, len(rset), rng
+            )
+            for i in range(4)
+        ]
+        stacked = train_submodels_stacked(datasets, epochs=80)
+        for dataset, model in zip(datasets, stacked):
+            serial = train_submodel(dataset, epochs=80)
+            stacked_mse = float(np.mean((model.predict_batch(dataset.xs) - dataset.ys) ** 2))
+            serial_mse = float(np.mean((serial.predict_batch(dataset.xs) - dataset.ys) ** 2))
+            # The stacked trainer may early-stop; it must stay in the same
+            # quality regime as the full serial run.
+            assert stacked_mse <= max(serial_mse * 5, 1e-4)
+
+    def test_empty_and_degenerate_datasets(self):
+        from repro.core.training import TrainingDataset
+
+        constant = TrainingDataset(np.array([0.5, 0.5]), np.array([0.25, 0.25]))
+        models = train_submodels_stacked([None, constant])
+        assert isinstance(models[0], Submodel)
+        assert models[1](0.5) == pytest.approx(0.25, abs=1e-6)
+
+    def test_chunking_is_transparent(self):
+        domain = 1 << 24
+        rset = RangeSet.from_integer_ranges(_disjoint_ranges(64, seed=4, domain=domain), domain)
+        rng = np.random.default_rng(5)
+        datasets = [
+            sample_responsibility(
+                [(i / 8, (i + 1) / 8)], rset.lo, rset.hi, 200, len(rset), rng
+            )
+            for i in range(8)
+        ]
+        whole = train_submodels_stacked(datasets, epochs=40)
+        chunked = train_submodels_stacked(
+            datasets, epochs=40, max_stacked_elements=200 * 8 * 2
+        )
+        for a, b in zip(whole, chunked):
+            assert np.array_equal(a.w1, b.w1)
+            assert np.array_equal(a.w2, b.w2)
+            assert a.b2 == b.b2
+
+    def test_early_stop_disabled_matches_full_budget(self):
+        domain = 1 << 24
+        rset = RangeSet.from_integer_ranges(_disjoint_ranges(32, seed=6, domain=domain), domain)
+        rng = np.random.default_rng(7)
+        dataset = sample_responsibility(
+            [(0.0, 1.0)], rset.lo, rset.hi, 300, len(rset), rng
+        )
+        full = train_submodels_stacked([dataset], epochs=60, early_stop_tolerance=0.0)
+        again = train_submodels_stacked([dataset], epochs=60, early_stop_tolerance=0.0)
+        assert np.array_equal(full[0].w1, again[0].w1)
+
+
+class TestPipelineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(jobs=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(warm_epochs=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(early_stop_tolerance=-1.0)
+        with pytest.raises(ValueError):
+            TrainingPipeline(PipelineConfig(), jobs=2)
+
+    def test_warm_epoch_resolution(self):
+        assert PipelineConfig(warm_epochs=17).resolve_warm_epochs(300) == 17
+        assert PipelineConfig().resolve_warm_epochs(300) == 100
+        assert PipelineConfig().resolve_warm_epochs(30) == 20
+
+
+class TestParallelEquivalence:
+    def test_jobs_produce_identical_engines(self, acl_rules, nm_config):
+        one = NuevoMatch.build(
+            acl_rules, remainder_classifier="tm", config=nm_config,
+            pipeline=TrainingPipeline(jobs=1),
+        )
+        four = NuevoMatch.build(
+            acl_rules, remainder_classifier="tm", config=nm_config,
+            pipeline=TrainingPipeline(jobs=4),
+        )
+        assert _model_states_sans_timing(one) == _model_states_sans_timing(four)
+
+    def test_pipeline_engine_is_conformant(self, base_engine, acl_rules):
+        base_engine.verify(acl_rules.sample_packets(300, seed=21))
+
+    def test_error_bounds_certify_lookups(self, base_engine):
+        for iset in base_engine.isets:
+            model = iset.model
+            rset = model.ranges
+            rng = np.random.default_rng(31)
+            keys = (rng.random(500) * rset.domain_size).astype(np.int64)
+            # Add keys inside ranges so true indices exist.
+            inside = (rset.lo * rset.domain_size).astype(np.int64)
+            keys = np.concatenate([keys, inside])
+            indices, predicted, bounds = model.query_batch_detailed(keys)
+            for key, index, pred, bound in zip(keys, indices, predicted, bounds):
+                true = rset.locate(key / rset.domain_size)
+                if true is None:
+                    continue
+                assert index == true, "indexed key must be found"
+                assert abs(pred - true) <= bound, (
+                    "certified error bound violated"
+                )
+
+
+class TestWarmStart:
+    def test_warm_is_deterministic(self, acl_rules, nm_config, base_engine):
+        updated = _modify_rules(acl_rules, count=30)
+        pipe = TrainingPipeline(jobs=1)
+        a = NuevoMatch.build(updated, remainder_classifier="tm", config=nm_config,
+                             pipeline=pipe, warm_from=base_engine)
+        b = NuevoMatch.build(updated, remainder_classifier="tm", config=nm_config,
+                             pipeline=pipe, warm_from=base_engine)
+        assert a.training_provenance["warm_started"] is True
+        assert _model_states_sans_timing(a) == _model_states_sans_timing(b)
+
+    def test_warm_engine_is_conformant_and_certified(
+        self, acl_rules, nm_config, base_engine
+    ):
+        updated = _modify_rules(acl_rules, count=30)
+        warm = NuevoMatch.build(updated, remainder_classifier="tm", config=nm_config,
+                                pipeline=TrainingPipeline(jobs=1), warm_from=base_engine)
+        warm.verify(updated.sample_packets(300, seed=23))
+        threshold = nm_config.rqrmi.error_threshold
+        for iset in warm.isets:
+            assert iset.model.max_error <= threshold
+
+    def test_unchanged_rules_reuse_everything(self, acl_rules, nm_config, base_engine):
+        rebuilt = NuevoMatch.build(
+            acl_rules, remainder_classifier="tm", config=nm_config,
+            pipeline=TrainingPipeline(jobs=1), warm_from=base_engine,
+        )
+        provenance = rebuilt.training_provenance
+        assert provenance["submodels_trained"] == 0
+        assert provenance["submodels_reused"] > 0
+        # Reused submodels carry their previous certified bounds verbatim.
+        for old, new in zip(base_engine.isets, rebuilt.isets):
+            assert old.model.error_bounds == new.model.error_bounds
+
+    def test_structure_mismatch_falls_back_to_cold(self):
+        domain = 1 << 24
+        small = RangeSet.from_integer_ranges(_disjoint_ranges(40, 8, domain), domain)
+        big = RangeSet.from_integer_ranges(_disjoint_ranges(1200, 9, domain), domain)
+        config = RQRMIConfig(adam_epochs=40)
+        warm_source = train_rqrmi(small, config)          # widths [1, 4, 16]
+        model = train_rqrmi(big, RQRMIConfig(adam_epochs=40, stage_widths=[1, 8]),
+                            warm_from=warm_source)
+        assert model.report.warm_started is False
+
+    def test_regressed_warm_weights_fall_back_to_cold(self):
+        domain = 1 << 24
+        config = RQRMIConfig(adam_epochs=60, error_threshold=16)
+        old_ranges = RangeSet.from_integer_ranges(_disjoint_ranges(600, 10, domain), domain)
+        new_ranges = RangeSet.from_integer_ranges(_disjoint_ranges(600, 11, domain), domain)
+        trained = train_rqrmi(old_ranges, config)
+        # Corrupt every leaf: constant-zero predictions cannot certify any
+        # non-trivial range set.
+        hidden = trained.stages[-1][0].hidden_units
+        corrupted = RQRMI(
+            stages=trained.stages[:-1]
+            + [[Submodel(np.zeros(hidden), np.zeros(hidden), np.zeros(hidden), 0.0)
+                for _ in trained.stages[-1]]],
+            ranges=old_ranges,
+            error_bounds=[0] * len(trained.error_bounds),
+            report=trained.report,
+        )
+        # warm_epochs below the closed-form refit cadence: the corrupted
+        # weights cannot recover in the warm attempt, forcing the cold path.
+        model = train_rqrmi(
+            new_ranges, config, warm_from=corrupted,
+            pipeline_config=PipelineConfig(warm_epochs=5),
+        )
+        assert model.report.warm_started is True
+        assert model.report.cold_fallbacks > 0
+        assert model.max_error <= config.error_threshold
+        # The certified contract must hold on the final model regardless.
+        rng = np.random.default_rng(12)
+        keys = (rng.random(400) * domain).astype(np.int64)
+        indices, predicted, bounds = model.query_batch_detailed(keys)
+        for key, index, pred, bound in zip(keys, indices, predicted, bounds):
+            true = new_ranges.locate(key / domain)
+            if true is not None:
+                assert index == true
+                assert abs(pred - true) <= bound
+
+
+class TestEngineIntegration:
+    def test_engine_build_records_provenance(self, acl_rules, nm_config, tmp_path):
+        engine = ClassificationEngine.build(
+            acl_rules, classifier="nm", remainder_classifier="tm",
+            config=nm_config, pipeline=TrainingPipeline(jobs=1),
+        )
+        assert engine.metadata["training"]["mode"] == "pipeline"
+        path = tmp_path / "engine.json.gz"
+        engine.save(path)
+        restored = ClassificationEngine.load(path)
+        assert restored.metadata["training"]["mode"] == "pipeline"
+        assert restored.classifier.training_provenance["mode"] == "pipeline"
+
+    def test_engine_warm_from_engine_snapshot(
+        self, acl_rules, nm_config, base_engine, tmp_path
+    ):
+        first = ClassificationEngine(base_engine)
+        updated = _modify_rules(acl_rules, count=20)
+        warm = ClassificationEngine.build(
+            updated, classifier="nm", remainder_classifier="tm",
+            config=nm_config, warm_from=first,
+        )
+        assert warm.metadata["training"]["warm_started"] is True
+
+    def test_pipeline_rejected_for_stateless_classifiers(self, acl_rules):
+        with pytest.raises(ValueError, match="no trained state"):
+            ClassificationEngine.build(
+                acl_rules, classifier="tm", pipeline=TrainingPipeline(jobs=2)
+            )
+
+
+class TestShardedWarmRetrain:
+    def test_background_retrain_warm_starts(self, acl_rules, nm_config):
+        engine = ShardedEngine.build(
+            acl_rules, shards=2, classifier="nm", remainder_classifier="tm",
+            config=nm_config, background_retraining=False, retrain_threshold=0.25,
+        )
+        try:
+            donor = acl_rules.rules[0]
+            max_id = max(rule.rule_id for rule in acl_rules)
+            for index in range(1, len(acl_rules)):
+                engine.insert(Rule(donor.ranges, priority=100_000 + index,
+                                   action=donor.action, rule_id=max_id + index))
+                if engine.updates.retrains_completed:
+                    break
+            assert engine.updates.retrains_completed >= 1
+            assert engine.updates.last_retrain_seconds > 0.0
+            retrained = [
+                shard for shard in engine._shards if shard.retrain_count
+            ]
+            assert retrained
+            for shard in retrained:
+                provenance = shard.engine.classifier.training_provenance
+                assert provenance["mode"] == "pipeline"
+                assert provenance["warm_started"] is True
+            engine.verify(engine.ruleset.sample_packets(200, seed=41))
+        finally:
+            engine.close()
+
+    def test_cold_retrain_opt_out(self, acl_rules, nm_config):
+        engine = ShardedEngine.build(
+            acl_rules, shards=1, classifier="nm", remainder_classifier="tm",
+            config=nm_config, background_retraining=False,
+            retrain_threshold=0.25, warm_retrain=False,
+        )
+        try:
+            donor = acl_rules.rules[0]
+            max_id = max(rule.rule_id for rule in acl_rules)
+            for index in range(1, len(acl_rules)):
+                engine.insert(Rule(donor.ranges, priority=100_000 + index,
+                                   action=donor.action, rule_id=max_id + index))
+                if engine.updates.retrains_completed:
+                    break
+            provenance = engine._shards[0].engine.classifier.training_provenance
+            assert provenance.get("warm_started") is not True
+        finally:
+            engine.close()
+
+    def test_save_load_round_trips_retrain_policy(self, acl_rules, nm_config, tmp_path):
+        engine = ShardedEngine.build(
+            acl_rules, shards=2, classifier="nm", remainder_classifier="tm",
+            config=nm_config, warm_retrain=False, retrain_jobs=3,
+        )
+        path = tmp_path / "sharded.json.gz"
+        try:
+            engine.save(path)
+        finally:
+            engine.close()
+        restored = ShardedEngine.load(path)
+        try:
+            stats = restored.statistics()
+            assert stats["warm_retrain"] is False
+            assert stats["retrain_jobs"] == 3
+        finally:
+            restored.close()
