@@ -13,7 +13,15 @@ from repro.core.nuevomatch import NuevoMatch
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, bench_rqrmi_config, current_scale, report, stanford
+from bench_helpers import (
+    bench_cost_model,
+    bench_rqrmi_config,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    stanford,
+)
 
 PAPER = {"throughput": 3.5, "latency": 7.5}
 
@@ -57,13 +65,23 @@ def test_fig10_stanford_backbone(benchmark):
          round(geometric_mean(throughput_factors), 2),
          round(geometric_mean(latency_factors), 2)]
     )
+    headers = ["rule-set", "rules", "coverage %", "tm Mpps", "nm Mpps",
+               "thr x (paper 3.5)", "lat x (paper 7.5)"]
     text = format_table(
-        ["rule-set", "rules", "coverage %", "tm Mpps", "nm Mpps", "thr x (paper 3.5)",
-         "lat x (paper 7.5)"],
+        headers,
         rows,
         title="Figure 10: Stanford-backbone-like forwarding tables, NuevoMatch vs TupleMerge",
     )
     report("fig10_stanford", text)
+    report_json(
+        "fig10_stanford",
+        config={"stanford_rules": size, "trace_packets": scale["trace_packets"]},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "gm_throughput_x": round(geometric_mean(throughput_factors), 3),
+            "gm_latency_x": round(geometric_mean(latency_factors), 3),
+        },
+    )
 
     # Shape checks.  The paper's 3.5x/7.5x factors rely on the full 180K-rule
     # tables, whose hash tables overflow the collision limit and spill to

@@ -12,7 +12,17 @@ from repro.analysis import format_table
 from repro.simulation import CacheHierarchy, CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cache, bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cache,
+    bench_cost_model,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 
 def test_fig11_throughput_vs_rules(benchmark):
@@ -53,13 +63,23 @@ def test_fig11_throughput_vs_rules(benchmark):
             ]
         )
 
+    headers = ["size", "rules", "tm Mpps", "nm Mpps", "coverage %",
+               "nm index KB (rem:total)", "tm index KB", "tm level", "nm level"]
     text = format_table(
-        ["size", "rules", "tm Mpps", "nm Mpps", "coverage %",
-         "nm index KB (rem:total)", "tm index KB", "tm level", "nm level"],
+        headers,
         rows,
         title="Figure 11: throughput vs. number of rules (TupleMerge vs NuevoMatch w/ TupleMerge)",
     )
     report("fig11_scaling", text)
+    report_json(
+        "fig11_scaling",
+        config={"application": application, "trace_packets": scale["trace_packets"]},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "tm_drop": round(tm_series[0] / tm_series[-1], 3),
+            "nm_drop": round(nm_series[0] / nm_series[-1], 3),
+        },
+    )
 
     # Shape checks: TupleMerge degrades with scale; NuevoMatch degrades less
     # and wins at the largest scale.

@@ -25,7 +25,16 @@ from repro.simulation import (
 )
 from repro.traffic import generate_caida_like_trace, generate_zipf_trace
 
-from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 PAPER = {
     "zipf-80": (2.06, 1.14),
@@ -79,12 +88,22 @@ def test_fig12_skewed_traffic(benchmark):
              PAPER[trace_name][0], PAPER[trace_name][1]]
         )
 
+    headers = ["trace", "nm w/ cs (x)", "nm w/ tm (x)", "paper cs", "paper tm"]
     text = format_table(
-        ["trace", "nm w/ cs (x)", "nm w/ tm (x)", "paper cs", "paper tm"],
+        headers,
         rows,
         title="Figure 12: throughput speedup under skewed traffic",
     )
     report("fig12_skew", text)
+    report_json(
+        "fig12_skew",
+        config={"rules": size, "applications": list(applications)},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "zipf80_cs_speedup": round(measured["zipf-80"][0], 3),
+            "zipf95_cs_speedup": round(measured["zipf-95"][0], 3),
+        },
+    )
 
     # Shape checks: the cs speedup shrinks with skew, and restricting L3
     # (CAIDA*) increases the speedup relative to unrestricted CAIDA.

@@ -10,7 +10,15 @@ it from L3/DRAM territory back under the L2 (and mostly L1) size.
 from repro.analysis import compare_footprints, format_table, geometric_mean
 from repro.simulation import CacheHierarchy
 
-from bench_helpers import bench_cache, bench_nm_config, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cache,
+    bench_nm_config,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 PAPER_COMPRESSION_500K = {"cs": 4.9, "nc": 8.0, "tm": 82.0}
 
@@ -55,9 +63,10 @@ def test_fig13_memory_footprint(benchmark):
                     ]
                 )
 
+    headers = ["size", "app", "baseline", "baseline index B", "baseline level",
+               "nm index B", "rqrmi B", "nm level", "compression x"]
     text = format_table(
-        ["size", "app", "baseline", "baseline index B", "baseline level",
-         "nm index B", "rqrmi B", "nm level", "compression x"],
+        headers,
         rows,
         title="Figure 13: index memory footprint, baselines vs NuevoMatch",
     )
@@ -68,6 +77,15 @@ def test_fig13_memory_footprint(benchmark):
             f"{geometric_mean(values):.1f}x (paper at 500K: {PAPER_COMPRESSION_500K[name]}x)"
         )
     report("fig13_memory", text + "\n\n" + "\n".join(gm_lines))
+    report_json(
+        "fig13_memory",
+        config={"applications": scale["applications"][:2]},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            f"compression_{name}": round(geometric_mean(values), 2)
+            for name, values in compression_at_largest.items()
+        },
+    )
 
     # Shape checks: NuevoMatch compresses every baseline at the largest scale,
     # and TupleMerge (the largest structure) is compressed the most.

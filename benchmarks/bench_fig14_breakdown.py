@@ -14,7 +14,16 @@ from repro.core.nuevomatch import NuevoMatch
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, bench_rqrmi_config, build_baseline, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    bench_rqrmi_config,
+    build_baseline,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 
 def test_fig14_iset_count_breakdown(benchmark):
@@ -62,13 +71,23 @@ def test_fig14_iset_count_breakdown(benchmark):
         coverage_series.append(nm.coverage * 100)
         latency_series.append(perf.avg_latency_ns)
 
+    headers = ["iSets", "coverage %", "latency ns", "inference ns",
+               "search+validation ns", "remainder ns", "total ns"]
     text = format_table(
-        ["iSets", "coverage %", "latency ns", "inference ns",
-         "search+validation ns", "remainder ns", "total ns"],
+        headers,
         rows,
         title="Figure 14: coverage and runtime breakdown vs. number of iSets (remainder: CutSplit)",
     )
     report("fig14_breakdown", text)
+    report_json(
+        "fig14_breakdown",
+        config={"application": application, "rules": size, "remainder": "cs"},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "final_coverage_pct": round(coverage_series[-1], 2),
+            "best_latency_ns": round(min(latency_series[1:]), 2),
+        },
+    )
 
     # Shape checks: coverage is monotone and saturates; adding iSets beyond
     # saturation does not keep improving latency (diminishing returns).

@@ -14,7 +14,13 @@ import numpy as np
 from repro.analysis import format_table
 from repro.core.rqrmi import RQRMI, RangeSet
 
-from bench_helpers import bench_rqrmi_config, current_scale, report
+from bench_helpers import (
+    bench_rqrmi_config,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+)
 
 BOUNDS = [64, 128, 256, 512, 1024]
 
@@ -48,12 +54,23 @@ def test_fig15_training_time_vs_bound(benchmark):
                  model.max_error]
             )
 
+    headers = ["size class", "ranges", "error bound", "train s", "retrains",
+               "achieved max error"]
     text = format_table(
-        ["size class", "ranges", "error bound", "train s", "retrains", "achieved max error"],
+        headers,
         rows,
         title="Figure 15: RQ-RMI training time vs. maximum search-distance bound",
     )
     report("fig15_training_time", text)
+    report_json(
+        "fig15_training_time",
+        config={"bounds": BOUNDS, "sizes": sizes},
+        measured={"rows": rows_as_records(headers, rows)},
+        summary={
+            "tightest_bound_500k_s": round(times["500K"][64], 3),
+            "loosest_bound_500k_s": round(times["500K"][1024], 3),
+        },
+    )
 
     # Shape checks: for every size class, the tightest bound is at least as
     # expensive as the loosest one; larger inputs take longer at the same bound.

@@ -11,7 +11,16 @@ from repro.analysis import format_table, geometric_mean
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 
 def test_fig17_small_rulesets(benchmark):
@@ -54,8 +63,10 @@ def test_fig17_small_rulesets(benchmark):
         )
         throughput_large.append(factors["throughput"])
 
+    headers = ["size", "app", "baseline", "iSets", "coverage %", "latency x",
+               "throughput x"]
     text = format_table(
-        ["size", "app", "baseline", "iSets", "coverage %", "latency x", "throughput x"],
+        headers,
         rows,
         title="Figure 17: small rule-sets (1K/10K), NuevoMatch vs CutSplit/TupleMerge",
     )
@@ -65,6 +76,15 @@ def test_fig17_small_rulesets(benchmark):
         " (paper: small sets show same-or-lower throughput; gains appear at scale)"
     )
     report("fig17_small_rulesets", text)
+    report_json(
+        "fig17_small_rulesets",
+        config={"applications": scale["applications"]},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "gm_throughput_small": round(geometric_mean(throughput_small), 3),
+            "gm_throughput_large": round(geometric_mean(throughput_large), 3),
+        },
+    )
 
     # Shape check: the throughput advantage at the largest scale exceeds the
     # small-rule-set advantage.

@@ -22,7 +22,17 @@ from repro.rules.rule import Rule
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, bench_nm_config, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    bench_nm_config,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 
 def test_fig7_throughput_under_updates(benchmark):
@@ -62,8 +72,9 @@ def test_fig7_throughput_under_updates(benchmark):
         nuevomatch_throughput=nm_tp, remainder_throughput=rem_tp,
     )
 
+    headers = ["training time s", "time s", "throughput Mpps"]
     text = format_table(
-        ["training time s", "time s", "throughput Mpps"],
+        headers,
         rows,
         title="Figure 7: throughput over time under updates (retrain every 120s)",
     )
@@ -72,6 +83,18 @@ def test_fig7_throughput_under_updates(benchmark):
         f"{sustained:,.0f} updates/s (paper: ~4,000/s at 500K rules)"
     )
     report("fig7_updates", text)
+    report_json(
+        "fig7_updates",
+        config={
+            "application": application,
+            "rules": size,
+            "update_rate": update_rate,
+            "retrain_period_s": 120.0,
+            "horizon_s": horizon,
+        },
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={"sustained_updates_per_s": round(sustained, 1)},
+    )
 
     # Shape checks: zero training time dominates slower retraining, and the
     # degraded curve stays between the remainder and NuevoMatch throughputs.

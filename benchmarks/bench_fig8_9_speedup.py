@@ -19,7 +19,15 @@ from repro.analysis import format_table, geometric_mean
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    ruleset,
+)
 
 PAPER_GM = {
     # (figure, size_label, baseline) -> (latency speedup, throughput speedup)
@@ -75,14 +83,25 @@ def _render(figure: str, size_label: str, results: dict) -> str:
     )
 
 
+def _records(size_label: str, results: dict) -> list[dict]:
+    return [
+        {"size": size_label, "baseline": name, "ruleset": application,
+         "latency_x": round(lat, 3), "throughput_x": round(thr, 3)}
+        for name, entries in results.items()
+        for application, lat, thr in entries
+    ]
+
+
 def test_fig8_two_core_speedups(benchmark):
     cost_model = bench_cost_model()
     sections = []
+    records = []
     gm_500k_thr = {}
     gm_500k_lat = {}
     for size_label in ("100K", "500K"):
         results = _speedups_for(size_label, "parallel", cost_model)
         sections.append(_render("fig8", size_label, results))
+        records.extend(_records(size_label, results))
         if size_label == "500K":
             gm_500k_thr = {
                 name: geometric_mean([thr for _, _, thr in entries])
@@ -93,6 +112,15 @@ def test_fig8_two_core_speedups(benchmark):
                 for name, entries in results.items()
             }
     report("fig8_two_core_speedup", "\n\n".join(sections))
+    report_json(
+        "fig8_two_core_speedup",
+        config={"mode": "parallel", "cores": 2, "baselines": BASELINES},
+        modelled={"rows": records},
+        summary={
+            **{f"gm_500k_throughput_{k}": round(v, 3) for k, v in gm_500k_thr.items()},
+            **{f"gm_500k_latency_{k}": round(v, 3) for k, v in gm_500k_lat.items()},
+        },
+    )
 
     # Shape: NuevoMatch reduces latency against every baseline at the largest
     # scale and wins on throughput against at least one.  The paper's full
@@ -123,6 +151,12 @@ def test_fig9_single_core_speedups(benchmark):
         name: geometric_mean([thr for _, _, thr in entries])
         for name, entries in results.items()
     }
+    report_json(
+        "fig9_single_core_speedup",
+        config={"mode": "single", "cores": 1, "baselines": BASELINES},
+        modelled={"rows": _records("500K", results)},
+        summary={f"gm_throughput_{k}": round(v, 3) for k, v in gm.items()},
+    )
     # Shape: single-core NuevoMatch with early termination still improves
     # throughput at the largest scale (paper: 1.6x-2.6x).
     assert max(gm.values()) > 1.0

@@ -101,8 +101,7 @@ def test_flowcache_locality():
     report("flowcache_locality", text)
     report_json(
         "flowcache_locality",
-        {
-            "bench": "flowcache_locality",
+        config={
             "classifier": CLASSIFIER,
             "application": application,
             "rules": size,
@@ -110,7 +109,17 @@ def test_flowcache_locality():
             "cache_size": CACHE_SIZE,
             "trace_packets": num_packets,
             "batch_size": 128,
-            "series": series,
+        },
+        measured={"series": series},
+        summary={
+            "zipf95_hit_rate": next(
+                (
+                    s["cached"]["hit_rate"]
+                    for s in series
+                    if s["trace"] == "zipf-95"
+                ),
+                None,
+            ),
         },
     )
 

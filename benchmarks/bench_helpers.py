@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from functools import lru_cache
 from pathlib import Path
 
@@ -195,9 +196,56 @@ def shard_counts_for(num_rules: int, maximum: int = 8) -> list[int]:
     return counts
 
 
-def report_json(experiment: str, payload: dict) -> None:
-    """Emit a machine-readable result: a ``BENCH <json>`` line on stdout plus
-    ``benchmarks/results/<experiment>.json`` for downstream tooling."""
+@lru_cache(maxsize=1)
+def git_rev() -> str:
+    """Short revision of the repo the benchmark ran from (``unknown`` outside
+    a checkout) — stamped into every BENCH payload so results are traceable."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).parent,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return completed.stdout.strip() if completed.returncode == 0 else "unknown"
+
+
+def rows_as_records(headers: list[str], rows: list[list]) -> list[dict]:
+    """Zip a printed table's headers and rows into JSON-friendly records."""
+    return [dict(zip(headers, row)) for row in rows]
+
+
+def report_json(
+    experiment: str,
+    *,
+    measured=None,
+    modelled=None,
+    config: dict | None = None,
+    summary: dict | None = None,
+) -> None:
+    """Emit a machine-readable result in the shared BENCH schema.
+
+    Every benchmark writes the same envelope — ``name``, ``scale``,
+    ``git_rev``, ``config`` (the experiment's knobs), ``measured``
+    (wall-clock observations), ``modelled`` (cost-model outputs) and an
+    optional ``summary`` of headline scalars — as a ``BENCH <json>`` stdout
+    line plus ``benchmarks/results/<experiment>.json`` for downstream tooling
+    (``scripts/bench_table.py``, CI floors).
+    """
+    payload = {
+        "name": experiment,
+        "schema": 1,
+        "scale": os.environ.get("REPRO_SCALE", "ci"),
+        "git_rev": git_rev(),
+        "config": config or {},
+        "measured": measured,
+        "modelled": modelled,
+    }
+    if summary is not None:
+        payload["summary"] = summary
     print(f"\nBENCH {json.dumps(payload, sort_keys=True)}")
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment}.json"

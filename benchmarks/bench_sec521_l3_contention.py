@@ -17,7 +17,16 @@ from repro.simulation import (
 )
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, build_baseline, build_nuevomatch, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    build_baseline,
+    build_nuevomatch,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 PAPER = {"cs_loss": 0.50, "nm_loss": 0.30}
 
@@ -52,12 +61,26 @@ def test_sec521_l3_contention(benchmark):
          f"{nm_loss:.0%}", f"{PAPER['nm_loss']:.0%}"],
         ["nm speedup", round(full_speedup, 2), round(limited_speedup, 2), "-", "-"],
     ]
+    headers = ["metric", "full L3 (Mpps / x)", "1.5MB L3 (Mpps / x)", "loss",
+               "paper loss"]
     text = format_table(
-        ["metric", "full L3 (Mpps / x)", "1.5MB L3 (Mpps / x)", "loss", "paper loss"],
+        headers,
         rows,
         title="§5.2.1: L3 contention — CutSplit vs NuevoMatch w/ CutSplit",
     )
     report("sec521_l3_contention", text)
+    report_json(
+        "sec521_l3_contention",
+        config={"application": application, "rules": size,
+                "l3_limit_bytes": 1_500_000},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            "cs_loss": round(cs_loss, 3),
+            "nm_loss": round(nm_loss, 3),
+            "full_speedup": round(full_speedup, 3),
+            "limited_speedup": round(limited_speedup, 3),
+        },
+    )
 
     # Shape checks: the baseline suffers at least as much as NuevoMatch from
     # the restricted L3, so the speedup does not shrink.

@@ -15,7 +15,14 @@ from repro.analysis import format_table
 from repro.core.rqrmi import RQRMI, RangeSet
 from repro.simulation import CostModel
 
-from bench_helpers import bench_rqrmi_config, current_scale, report, ruleset
+from bench_helpers import (
+    bench_rqrmi_config,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 from repro.core.isets import partition_isets
 
 
@@ -68,6 +75,23 @@ def test_sec534_search_distance(benchmark):
         title="Secondary-search cost vs. bound (paper: 40ns exact, 75-80ns for 64-256)",
     )
     report("sec534_search_distance", fraction_text + "\n\n" + cost_text)
+    report_json(
+        "sec534_search_distance",
+        config={"application": application, "rules": size, "trained_bound": 128},
+        measured={
+            "distances": rows_as_records(["distance <=", "% of lookups"],
+                                         fraction_rows),
+        },
+        modelled={
+            "search_cost": rows_as_records(
+                ["search bound", "binary-search accesses", "modelled search ns"],
+                cost_rows,
+            ),
+        },
+        summary={
+            "fraction_within_64": round(float(np.mean(distances <= 64)), 3),
+        },
+    )
 
     # Shape checks: most lookups are far below the worst-case bound, and the
     # modelled cost grows only logarithmically with the bound.

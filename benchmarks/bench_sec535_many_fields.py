@@ -18,7 +18,7 @@ from repro.rules.rule import Rule, RuleSet
 from repro.simulation import CostModel
 from repro.classifiers.base import LookupTrace
 
-from bench_helpers import report
+from bench_helpers import report, report_json, rows_as_records
 
 FIELD_COUNTS = [1, 5, 10, 20, 40]
 PAPER = {1: 25, 40: 180}
@@ -70,13 +70,23 @@ def test_sec535_validation_vs_fields(benchmark):
              round(wall_ns, 1), PAPER.get(num_fields, "-")]
         )
 
+    headers = ["fields", "1-iSet coverage %", "modelled validation ns",
+               "python validation ns", "paper ns"]
     text = format_table(
-        ["fields", "1-iSet coverage %", "modelled validation ns",
-         "python validation ns", "paper ns"],
+        headers,
         rows,
         title="§5.3.5: validation cost vs. number of fields",
     )
     report("sec535_many_fields", text)
+    report_json(
+        "sec535_many_fields",
+        config={"field_counts": FIELD_COUNTS, "rules": 400},
+        measured={"rows": rows_as_records(headers, rows)},
+        summary={
+            "modelled_growth_x": round(modelled[40] / modelled[1], 3),
+            "measured_growth_x": round(measured[40] / measured[1], 3),
+        },
+    )
 
     # Shape checks: validation grows with the field count (roughly linearly),
     # while single-iSet coverage does not degrade.

@@ -14,7 +14,14 @@ server's mean coalesced batch size.  Shape assertions: concurrency must
 actually coalesce (mean batch size > 1), and coalesced dispatch must beat the
 one-request-per-call baseline at the same concurrency.
 
-Results land in the BENCH json format (``benchmarks/results/
+A second sweep prices the wire protocol: the production serving stack (the
+flow-cached engine ``repro serve`` runs) is driven with pre-formed batches
+over pinned JSON (v1) and over negotiated binary v2, identical in every
+other respect.  The floor — binary v2 must reach at least
+``WIRE_V2_FLOOR`` × the JSON throughput — is hardware-independent: JSON
+spends its budget on per-request encode/parse that v2 simply does not do.
+
+Results land in the shared BENCH schema (``benchmarks/results/
 server_throughput.json`` plus a ``BENCH {...}`` stdout line).
 """
 
@@ -23,7 +30,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.engine import ClassificationEngine
-from repro.serving import AsyncServer
+from repro.serving import AsyncServer, CachedEngine
 from repro.workloads import make_trace, open_loop_load
 
 from bench_helpers import current_scale, report, report_json, ruleset
@@ -39,8 +46,17 @@ WINDOWS = (1, 8, 32)
 DELAYS_US = (0.0, 200.0, 1000.0)
 MAX_BATCH = 64
 
+#: Wire-protocol comparison: pre-formed batch size, per-connection window,
+#: flow-cache capacity for the serving stack, and the v2-vs-JSON floor.
+WIRE_BATCH = 64
+WIRE_WINDOW = 8
+WIRE_CACHE = 4096
+WIRE_V2_FLOOR = 3.0
 
-async def _measure(engine, packets, max_batch, max_delay_us, window):
+
+async def _measure(
+    engine, packets, max_batch, max_delay_us, window, batch=1, protocol="json"
+):
     async with AsyncServer(
         engine, max_batch=max_batch, max_delay_us=max_delay_us
     ) as server:
@@ -51,12 +67,14 @@ async def _measure(engine, packets, max_batch, max_delay_us, window):
             packets,
             connections=CONNECTIONS,
             window=window,
+            batch=batch,
+            protocol=protocol,
         )
 
 
-def _cell(engine, packets, max_batch, max_delay_us, window):
+def _cell(engine, packets, max_batch, max_delay_us, window, **kwargs):
     load = asyncio.run(
-        _measure(engine, packets, max_batch, max_delay_us, window)
+        _measure(engine, packets, max_batch, max_delay_us, window, **kwargs)
     )
     assert load.completed == len(packets)
     assert load.errors == 0 and load.overloaded == 0
@@ -133,6 +151,39 @@ def test_server_throughput():
         ]
     )
 
+    # Wire-protocol comparison over the production stack: the flow-cached
+    # engine, pre-formed batches, one sweep pinned to JSON and one on the
+    # negotiated binary v2 protocol.
+    cached = CachedEngine(engine, capacity=WIRE_CACHE)
+    wire_series = []
+    wire_loads = {}
+    for protocol in ("json", "auto"):
+        load = _cell(
+            cached, packets, MAX_BATCH, 200.0, WIRE_WINDOW,
+            batch=WIRE_BATCH, protocol=protocol,
+        )
+        wire_loads[load.protocol] = load
+        wire_series.append(
+            {
+                "pinned": protocol,
+                "protocol": load.protocol,
+                "batch": WIRE_BATCH,
+                "window": WIRE_WINDOW,
+                "load": load.as_dict(),
+            }
+        )
+        rows.append(
+            [
+                f"wire-{load.protocol}({WIRE_BATCH})",
+                200,
+                CONNECTIONS * WIRE_WINDOW,
+                round(load.throughput_rps / 1e3, 2),
+                round(load.mean_batch_size, 2),
+                round(load.latency_p50_us, 1),
+                round(load.latency_p99_us, 1),
+            ]
+        )
+
     text = format_table(
         ["dispatch", "delay us", "concurrency", "krps", "mean batch",
          "p50 us", "p99 us"],
@@ -148,10 +199,12 @@ def test_server_throughput():
         if baseline.throughput_rps > 0
         else 0.0
     )
+    json_rps = wire_loads["json"].throughput_rps
+    v2_rps = wire_loads["v2"].throughput_rps
+    wire_speedup = v2_rps / json_rps if json_rps > 0 else 0.0
     report_json(
         "server_throughput",
-        {
-            "bench": "server_throughput",
+        config={
             "classifier": CLASSIFIER,
             "application": application,
             "rules": size,
@@ -159,10 +212,18 @@ def test_server_throughput():
             "requests": num_packets,
             "connections": CONNECTIONS,
             "max_batch": MAX_BATCH,
+            "wire_batch": WIRE_BATCH,
+            "wire_window": WIRE_WINDOW,
+            "wire_cache": WIRE_CACHE,
+        },
+        measured={"coalescing": series, "wire": wire_series},
+        summary={
             "coalesced_best_rps": round(best_coalesced, 1),
             "per_request_rps": round(baseline.throughput_rps, 1),
             "coalescing_speedup": round(speedup, 3),
-            "series": series,
+            "wire_json_rps": round(json_rps, 1),
+            "wire_v2_rps": round(v2_rps, 1),
+            "wire_v2_speedup": round(wire_speedup, 3),
         },
     )
 
@@ -180,4 +241,10 @@ def test_server_throughput():
     assert best_coalesced > baseline.throughput_rps, (
         f"coalesced dispatch ({best_coalesced:.0f} rps) did not beat "
         f"per-request dispatch ({baseline.throughput_rps:.0f} rps)"
+    )
+    # The wire-v2 floor: the binary data plane must beat pinned JSON by the
+    # documented factor on the same workload.
+    assert wire_speedup >= WIRE_V2_FLOOR, (
+        f"wire v2 ({v2_rps:.0f} rps) is only {wire_speedup:.2f}x the JSON "
+        f"baseline ({json_rps:.0f} rps); floor is {WIRE_V2_FLOOR}x"
     )

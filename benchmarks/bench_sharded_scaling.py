@@ -1,23 +1,36 @@
-"""Sharded serving — throughput vs. shard count.
+"""Sharded serving — throughput vs. shard count and executor.
 
 The paper scales NuevoMatch by splitting rule-sets across iSets and cores
-(§5); this benchmark turns the same knob in the serving layer.  One rule-set
-is served through :class:`~repro.serving.ShardedEngine` at increasing shard
-counts and two throughput series are recorded:
+(§5); this benchmark turns the same knob in the serving layer, in two parts:
 
-* **modelled** — :func:`repro.simulation.evaluate_sharded` prices each
-  shard's aggregated lookup trace against its (smaller) structures and takes
-  the slowest shard per batch: the shards-as-cores model.
-* **measured** — wall-clock ``classify_batch`` throughput through the thread
-  pool, the end-to-end number an operator sees.
+* **Modelled scaling** — one rule-set served through
+  :class:`~repro.serving.ShardedEngine` at increasing shard counts;
+  :func:`repro.simulation.evaluate_sharded` prices each shard's aggregated
+  lookup trace against its (smaller) structures and takes the slowest shard
+  per batch: the shards-as-cores model.
+* **Measured executor scaling** — wall-clock ``classify_block`` throughput
+  through the ``"thread"`` executor and the shared-memory ``"workers"``
+  runtime.  The linear classifier keeps per-shard lookup cost proportional
+  to the shard's rule count, so this series isolates what the executors add:
+  hand-off cost and (on multi-core hosts) parallelism.
 
-Results land in the BENCH json format (``benchmarks/results/
+Floors (the scaling-inversion regression guard): on hosts with at least
+``FLOOR_CORES`` cores the workers series must improve monotonically from 1
+to 8 shards and reach ≥ 2× the single-shard throughput at 8 shards; on
+smaller hosts (where no executor can parallelize) the workers runtime must
+stay within 2× of the thread executor at every shard count — the ring
+hand-off must not re-introduce the process-pool pickling tax.
+
+Results land in the shared BENCH schema (``benchmarks/results/
 sharded_scaling.json`` plus a ``BENCH {...}`` stdout line).
 """
 
 from __future__ import annotations
 
+import os
 import time
+
+import numpy as np
 
 from repro.serving import ShardedEngine
 from repro.simulation import evaluate_sharded
@@ -33,17 +46,29 @@ from bench_helpers import (
 )
 from repro.analysis import format_table
 
-#: Shards are served by one classifier kind; TupleMerge keeps per-shard build
-#: time negligible so the sweep measures serving, not construction.
+#: Modelled shards are served by one classifier kind; TupleMerge keeps
+#: per-shard build time negligible so the sweep measures serving, not
+#: construction.
 CLASSIFIER = "tm"
 
+#: The measured executor sweep uses the (vectorized) linear classifier: its
+#: per-shard cost shrinks proportionally with the shard's rule count, which
+#: is the property the shards-as-cores argument needs.
+MEASURED_CLASSIFIER = "linear"
+MEASURED_EXECUTORS = ("thread", "workers")
+MEASURED_BATCH = 512
 
-def _measure_wall_pps(sharded, packets, batch_size: int) -> float:
+#: Core count from which the full parallel-scaling floors apply.
+FLOOR_CORES = 4
+
+
+def _measure_wall_pps(sharded, block, batch_size: int) -> float:
+    sharded.classify_block(block[:batch_size])  # warm executors and rings
     start = time.perf_counter()
-    for chunk_start in range(0, len(packets), batch_size):
-        sharded.classify_batch(packets[chunk_start : chunk_start + batch_size])
+    for chunk_start in range(0, len(block), batch_size):
+        sharded.classify_block(block[chunk_start : chunk_start + batch_size])
     elapsed = time.perf_counter() - start
-    return len(packets) / elapsed if elapsed > 0 else 0.0
+    return len(block) / elapsed if elapsed > 0 else 0.0
 
 
 def test_sharded_scaling():
@@ -54,58 +79,141 @@ def test_sharded_scaling():
     trace = list(generate_uniform_trace(rules, scale["trace_packets"], seed=41))
     cost_model = bench_cost_model()
     shard_counts = shard_counts_for(size)
+    cores = os.cpu_count() or 1
 
-    rows = []
-    series = []
+    modelled_rows = []
+    modelled_series = []
     modelled_pps = []
     for shards in shard_counts:
-        engine = ShardedEngine.build(
+        with ShardedEngine.build(
             rules, shards=shards, classifier=CLASSIFIER, executor="thread"
-        )
-        with engine:
+        ) as engine:
             modelled = evaluate_sharded(engine, trace, cost_model, batch_size=128)
-            measured = _measure_wall_pps(engine, trace, batch_size=128)
             modelled_pps.append(modelled.throughput_pps)
-            series.append(
+            modelled_series.append(
                 {
                     "shards": shards,
                     "shard_sizes": engine.shard_sizes(),
-                    "modelled_throughput_pps": round(modelled.throughput_pps, 1),
-                    "modelled_latency_ns": round(modelled.avg_latency_ns, 2),
-                    "measured_throughput_pps": round(measured, 1),
+                    "throughput_pps": round(modelled.throughput_pps, 1),
+                    "latency_ns": round(modelled.avg_latency_ns, 2),
                 }
             )
-            rows.append(
+            modelled_rows.append(
                 [
                     shards,
                     "/".join(str(s) for s in engine.shard_sizes()),
                     round(modelled.avg_latency_ns, 1),
                     round(modelled.throughput_pps / 1e6, 3),
-                    round(measured / 1e3, 1),
                 ]
             )
 
+    # Measured executor sweep: the same columnar block through every executor
+    # at every shard count (4 × slot size so the workers path pipelines).
+    measured_rules = ruleset(application, min(size, 4000))
+    measured_packets = max(4 * MEASURED_BATCH, scale["trace_packets"])
+    block = np.array(
+        [
+            tuple(p)
+            for p in generate_uniform_trace(
+                measured_rules, measured_packets, seed=43
+            )
+        ],
+        dtype=np.uint64,
+    )
+    measured_series = []
+    measured_rows = []
+    measured_pps: dict[tuple[str, int], float] = {}
+    for executor in MEASURED_EXECUTORS:
+        for shards in shard_counts:
+            with ShardedEngine.build(
+                measured_rules,
+                shards=shards,
+                classifier=MEASURED_CLASSIFIER,
+                executor=executor,
+            ) as engine:
+                pps = _measure_wall_pps(engine, block, MEASURED_BATCH)
+            measured_pps[(executor, shards)] = pps
+            measured_series.append(
+                {
+                    "executor": executor,
+                    "shards": shards,
+                    "throughput_pps": round(pps, 1),
+                }
+            )
+            measured_rows.append([executor, shards, round(pps / 1e3, 2)])
+
     text = format_table(
-        ["shards", "shard sizes", "latency ns", "modelled Mpps", "measured kpps"],
-        rows,
-        title=f"Sharded serving scaling ({CLASSIFIER} shards, "
+        ["shards", "shard sizes", "latency ns", "modelled Mpps"],
+        modelled_rows,
+        title=f"Sharded serving scaling, modelled ({CLASSIFIER} shards, "
               f"{application} {size} rules)",
+    ) + "\n" + format_table(
+        ["executor", "shards", "measured kpps"],
+        measured_rows,
+        title=f"Executor scaling, measured ({MEASURED_CLASSIFIER} shards, "
+              f"{application} {len(measured_rules)} rules, {cores} cores)",
     )
     report("sharded_scaling", text)
+
+    base_workers = measured_pps[("workers", shard_counts[0])]
+    top_workers = measured_pps[("workers", shard_counts[-1])]
     report_json(
         "sharded_scaling",
-        {
-            "bench": "sharded_scaling",
+        config={
             "classifier": CLASSIFIER,
+            "measured_classifier": MEASURED_CLASSIFIER,
             "application": application,
             "rules": size,
+            "measured_rules": len(measured_rules),
             "trace_packets": len(trace),
-            "batch_size": 128,
-            "series": series,
+            "measured_packets": int(len(block)),
+            "batch_size": MEASURED_BATCH,
+            "executors": list(MEASURED_EXECUTORS),
+            "cores": cores,
+        },
+        measured={"series": measured_series},
+        modelled={"series": modelled_series},
+        summary={
+            "modelled_best_pps": round(max(modelled_pps), 1),
+            "modelled_speedup": round(
+                max(modelled_pps) / max(modelled_pps[0], 1e-9), 3
+            ),
+            "workers_base_pps": round(base_workers, 1),
+            "workers_top_pps": round(top_workers, 1),
+            "workers_scaling": round(top_workers / max(base_workers, 1e-9), 3),
         },
     )
 
-    assert len(series) >= 3, "need at least 3 shard counts for the scaling curve"
+    assert len(modelled_series) >= 3, "need at least 3 shard counts for the curve"
     # Shape check: splitting the structure across cores must help — the best
     # sharded configuration beats the single-shard baseline in the model.
     assert max(modelled_pps[1:]) > modelled_pps[0]
+
+    if cores >= FLOOR_CORES:
+        # The scaling-inversion fix, asserted: monotonic improvement from 1
+        # to 8 shards (10% noise tolerance per step) with a 2x floor at the
+        # top of the sweep.
+        previous = base_workers
+        for shards in shard_counts[1:]:
+            pps = measured_pps[("workers", shards)]
+            assert pps >= 0.9 * previous, (
+                f"workers throughput degraded at {shards} shards: "
+                f"{pps:.0f} < {previous:.0f} pps"
+            )
+            previous = pps
+        assert top_workers >= 2.0 * base_workers, (
+            f"8-shard workers throughput {top_workers:.0f} pps is below 2x "
+            f"the 1-shard baseline {base_workers:.0f} pps on {cores} cores"
+        )
+    else:
+        # Single-core hosts cannot parallelize anything; the guard is that
+        # the shared-memory hand-off stays within 2x of the in-process
+        # thread executor — i.e. the rings never re-introduce the pickling
+        # tax that caused the original inversion.
+        for shards in shard_counts:
+            workers = measured_pps[("workers", shards)]
+            thread = measured_pps[("thread", shards)]
+            assert workers >= 0.5 * thread, (
+                f"workers executor at {shards} shards ({workers:.0f} pps) "
+                f"fell below half the thread executor ({thread:.0f} pps)"
+            )

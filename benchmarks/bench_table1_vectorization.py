@@ -13,7 +13,7 @@ from repro.analysis import format_table
 from repro.core.submodel import Submodel
 from repro.simulation import VECTOR_WIDTHS, inference_time_ns, measure_inference_ns
 
-from bench_helpers import report
+from bench_helpers import report, report_json, rows_as_records
 
 PAPER_TABLE1 = {"Serial": 126.0, "SSE": 62.0, "AVX": 49.0}
 
@@ -29,12 +29,19 @@ def test_table1_vectorization(benchmark):
         modelled = inference_time_ns(width)
         measured = measure_inference_ns(_random_submodel(), lanes=width, iterations=500)
         rows.append([name, width, PAPER_TABLE1[name], round(modelled, 1), round(measured, 1)])
+    headers = ["instruction set", "floats/insn", "paper ns", "model ns",
+               "numpy ns/key"]
     text = format_table(
-        ["instruction set", "floats/insn", "paper ns", "model ns", "numpy ns/key"],
+        headers,
         rows,
         title="Table 1: submodel inference time vs. vectorization",
     )
     report("table1_vectorization", text)
+    report_json(
+        "table1_vectorization",
+        config={"widths": dict(VECTOR_WIDTHS)},
+        measured={"rows": rows_as_records(headers, rows)},
+    )
 
     # Shape checks: wider vectors are never slower.
     modelled = [inference_time_ns(w) for w in VECTOR_WIDTHS.values()]

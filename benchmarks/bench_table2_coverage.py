@@ -19,7 +19,14 @@ import statistics
 from repro.analysis import coverage_report, format_table
 from repro.core.isets import partition_isets
 
-from bench_helpers import current_scale, report, ruleset, stanford
+from bench_helpers import (
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+    stanford,
+)
 
 PAPER_TABLE2 = {
     "1K": [20.2, 28.9, 34.6, 38.7],
@@ -58,12 +65,24 @@ def test_table2_iset_coverage(benchmark):
         + ["/".join(f"{v:.1f}" for v in PAPER_TABLE2["stanford"])]
     )
 
+    headers = ["size", "rules", "1 iSet", "2 iSets", "3 iSets", "4 iSets",
+               "paper (1/2/3/4)"]
     text = format_table(
-        ["size", "rules", "1 iSet", "2 iSets", "3 iSets", "4 iSets", "paper (1/2/3/4)"],
+        headers,
         rows,
         title="Table 2: cumulative iSet coverage (%)",
     )
     report("table2_coverage", text)
+    report_json(
+        "table2_coverage",
+        config={"applications": scale["applications"],
+                "stanford_rules": scale["stanford_rules"]},
+        measured={"rows": rows_as_records(headers, rows)},
+        summary={
+            f"{label}_2iset_mean": round(means[1], 2)
+            for label, means in measured_by_label.items()
+        },
+    )
 
     # Shape checks from the paper:
     # (1) coverage grows with rule-set size,

@@ -22,7 +22,15 @@ from repro.rules import blend_rulesets, generate_low_diversity
 from repro.simulation import CostModel, evaluate_classifier, evaluate_nuevomatch, speedup
 from repro.traffic import generate_uniform_trace
 
-from bench_helpers import bench_cost_model, bench_rqrmi_config, current_scale, report, ruleset
+from bench_helpers import (
+    bench_cost_model,
+    bench_rqrmi_config,
+    current_scale,
+    report,
+    report_json,
+    rows_as_records,
+    ruleset,
+)
 
 PAPER_TABLE3 = {70: (25, 1.07), 50: (50, 1.14), 30: (70, 1.60)}
 
@@ -61,12 +69,23 @@ def test_table3_low_diversity(benchmark):
              paper_cov, paper_speedup]
         )
 
+    headers = ["low-diversity rules", "coverage %", "speedup (tm)",
+               "paper cov %", "paper speedup"]
     text = format_table(
-        ["low-diversity rules", "coverage %", "speedup (tm)", "paper cov %", "paper speedup"],
+        headers,
         rows,
         title="Table 3: low-diversity blends — coverage and throughput speedup vs. TupleMerge",
     )
     report("table3_low_diversity", text)
+    report_json(
+        "table3_low_diversity",
+        config={"rules": size, "values_per_field": 16},
+        modelled={"rows": rows_as_records(headers, rows)},
+        summary={
+            f"coverage_{pct}pct": round(cov, 2)
+            for pct, cov in measured_coverage.items()
+        },
+    )
 
     # Shape checks: the partitioner segregates the low-diversity rules, so
     # single-iSet coverage tracks the high-diversity fraction.  The speedup

@@ -20,7 +20,7 @@ from repro.analysis import format_table
 from repro.core.config import TABLE4_CONFIGS, stage_widths_for_rules
 from repro.core.rqrmi import RQRMI, RangeSet
 
-from bench_helpers import bench_rqrmi_config, report
+from bench_helpers import bench_rqrmi_config, report, report_json, rows_as_records
 
 
 def _disjoint_ranges(count: int, domain_bits: int = 32, seed: int = 0):
@@ -61,12 +61,22 @@ def test_table4_rqrmi_configurations(benchmark):
         )
         assert model.size_bytes() < 64 * 1024  # must stay L1-resident
 
+    trained_headers = ["class", "ranges", "widths", "model bytes", "max error",
+                       "train s"]
     trained_text = format_table(
-        ["class", "ranges", "widths", "model bytes", "max error", "train s"],
+        trained_headers,
         trained_rows,
         title="Trained RQ-RMI size per configuration (scaled)",
     )
     report("table4_configs", table_text + "\n\n" + trained_text)
+    report_json(
+        "table4_configs",
+        config={"table4": [
+            {"max_rules": max_rules, "stages": stages, "widths": list(widths)}
+            for max_rules, stages, widths in TABLE4_CONFIGS
+        ]},
+        measured={"rows": rows_as_records(trained_headers, trained_rows)},
+    )
 
     small = RangeSet.from_integer_ranges(_disjoint_ranges(500, seed=1), 1 << 32)
     benchmark(lambda: RQRMI.train(small, bench_rqrmi_config(stage_widths=[1, 4])))

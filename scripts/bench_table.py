@@ -34,39 +34,53 @@ def _fmt(value: float, digits: int = 2) -> str:
 
 
 def _rows_training_pipeline(data: dict) -> list[tuple[str, str, str]]:
-    name = f"training pipeline ({data.get('ruleset', '?')})"
+    config = data.get("config", {})
+    summary = data["summary"]
+    name = f"training pipeline ({config.get('ruleset', '?')})"
     return [
         (name, "parallel build (jobs=4) vs serial loop",
-         f"{_fmt(data['parallel_speedup'])}x faster"),
+         f"{_fmt(summary['parallel_speedup'])}x faster"),
         (name, "warm-start retrain vs cold retrain",
-         f"{_fmt(data['warm_speedup'])}x faster"),
+         f"{_fmt(summary['warm_speedup'])}x faster"),
         (name, "retrain-to-swap latency, warm vs cold",
-         f"{_fmt(data['retrain_to_swap_speedup'])}x faster "
-         f"({_fmt(data['retrain_to_swap_warm_s'] * 1e3, 0)} ms)"),
+         f"{_fmt(summary['retrain_to_swap_speedup'])}x faster "
+         f"({_fmt(summary['retrain_to_swap_warm_s'] * 1e3, 0)} ms)"),
     ]
 
 
 def _rows_sharded_scaling(data: dict) -> list[tuple[str, str, str]]:
-    series = data.get("series", [])
+    config = data.get("config", {})
+    summary = data.get("summary", {})
+    series = data.get("modelled", {}).get("series", [])
     if not series:
         return []
     base = series[0]
-    best = max(series, key=lambda row: row.get("modelled_throughput_pps", 0.0))
-    name = f"sharded scaling ({data.get('application')}/{data.get('rules')})"
-    speedup = (best["modelled_throughput_pps"] /
-               max(base["modelled_throughput_pps"], 1.0))
-    return [
+    best = max(series, key=lambda row: row.get("throughput_pps", 0.0))
+    name = (f"sharded scaling ({config.get('application')}/"
+            f"{config.get('rules')})")
+    speedup = best["throughput_pps"] / max(base["throughput_pps"], 1.0)
+    rows = [
         (name, f"modelled throughput at {best['shards']} shards vs 1",
          f"{_fmt(speedup)}x "
-         f"({_fmt(best['modelled_throughput_pps'] / 1e6)} Mpps)"),
+         f"({_fmt(best['throughput_pps'] / 1e6)} Mpps)"),
     ]
+    if "workers_scaling" in summary:
+        rows.append(
+            (name,
+             f"workers executor, measured, 8 vs 1 shards "
+             f"({config.get('cores', '?')} cores)",
+             f"{_fmt(summary['workers_scaling'])}x "
+             f"({_fmt(summary['workers_top_pps'] / 1e3, 1)} kpps)"),
+        )
+    return rows
 
 
 def _rows_flowcache_locality(data: dict) -> list[tuple[str, str, str]]:
-    series = data.get("series", [])
+    config = data.get("config", {})
+    series = data.get("measured", {}).get("series", [])
     rows = []
-    name = (f"flow cache ({data.get('application')}/{data.get('rules')}, "
-            f"{data.get('cache_size')} entries)")
+    name = (f"flow cache ({config.get('application')}/{config.get('rules')}, "
+            f"{config.get('cache_size')} entries)")
     for entry in series:
         label = entry.get("trace") or entry.get("label") or "?"
         cached = entry.get("cached", {})
@@ -81,13 +95,24 @@ def _rows_flowcache_locality(data: dict) -> list[tuple[str, str, str]]:
 
 
 def _rows_server_throughput(data: dict) -> list[tuple[str, str, str]]:
-    name = (f"network serving ({data.get('application')}/{data.get('rules')}, "
-            f"{data.get('connections')} conns)")
-    return [
+    config = data.get("config", {})
+    summary = data["summary"]
+    name = (f"network serving ({config.get('application')}/"
+            f"{config.get('rules')}, {config.get('connections')} conns)")
+    rows = [
         (name, "request coalescing vs one-request-per-call",
-         f"{_fmt(data['coalescing_speedup'])}x faster "
-         f"({_fmt(data['coalesced_best_rps'] / 1e3, 1)} krps)"),
+         f"{_fmt(summary['coalescing_speedup'])}x faster "
+         f"({_fmt(summary['coalesced_best_rps'] / 1e3, 1)} krps)"),
     ]
+    if "wire_v2_speedup" in summary:
+        rows.append(
+            (name,
+             f"binary wire v2 vs JSON, batched flow-cached serving "
+             f"(batch {config.get('wire_batch', '?')})",
+             f"{_fmt(summary['wire_v2_speedup'])}x faster "
+             f"({_fmt(summary['wire_v2_rps'] / 1e3, 1)} krps)"),
+        )
+    return rows
 
 
 _RENDERERS = {

@@ -178,7 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--classifier", default="nm", choices=available_classifiers())
     sharded.add_argument("--remainder", default="tm", choices=_baseline_choices())
     sharded.add_argument("--partitioner", default="auto", choices=list(PARTITIONERS))
-    sharded.add_argument("--executor", default="thread", choices=list(EXECUTORS))
+    sharded.add_argument("--executor", default=None, choices=list(EXECUTORS),
+                         help="fan-out strategy; default: 'workers' (the "
+                              "persistent shared-memory shard-worker runtime) "
+                              "when shards > 1, else 'thread'")
     sharded.add_argument("--retrain-threshold", type=float,
                          default=DEFAULT_RETRAIN_THRESHOLD)
     sharded.add_argument("--error-threshold", type=int, default=64)
@@ -538,6 +541,11 @@ def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    # Multi-shard serving defaults to the shared-memory worker runtime — the
+    # executor whose *measured* throughput actually scales with shards; a
+    # single shard has nothing to fan out and keeps threads.  A snapshot
+    # restore without --executor keeps the snapshot's persisted choice.
+    auto_executor = "workers" if args.shards > 1 else "thread"
     path = str(args.ruleset)
     if path.endswith((".json", ".json.gz")):
         import json
@@ -578,7 +586,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             classifier=args.classifier,
             partitioner=args.partitioner,
-            executor=args.executor,
+            executor=args.executor or auto_executor,
             retrain_threshold=args.retrain_threshold,
             **params,
         )

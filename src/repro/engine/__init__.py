@@ -14,7 +14,12 @@ See :mod:`repro.engine.engine` for the facade and
 :mod:`repro.engine.serialization` for the on-disk format.
 """
 
-from repro.engine.engine import BatchReport, ClassificationEngine, serve_in_batches
+from repro.engine.engine import (
+    BatchReport,
+    ClassificationEngine,
+    results_to_arrays,
+    serve_in_batches,
+)
 from repro.engine.serialization import (
     ENGINE_FILE_VERSION,
     SHARDED_FILE_VERSION,
@@ -31,6 +36,7 @@ __all__ = [
     "ClassificationEngine",
     "BatchReport",
     "serve_in_batches",
+    "results_to_arrays",
     "ENGINE_FILE_VERSION",
     "SHARDED_FILE_VERSION",
     "rule_to_state",

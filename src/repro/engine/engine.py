@@ -22,6 +22,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.classifiers.base import (
     ClassificationResult,
     Classifier,
@@ -39,7 +41,36 @@ from repro.engine.serialization import (
 )
 from repro.rules.rule import Packet, Rule, RuleSet
 
-__all__ = ["ClassificationEngine", "BatchReport", "serve_in_batches"]
+__all__ = [
+    "ClassificationEngine",
+    "BatchReport",
+    "serve_in_batches",
+    "results_to_arrays",
+]
+
+
+def results_to_arrays(
+    results: Sequence[ClassificationResult],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse classification results to ``(rule_ids, priorities)`` arrays.
+
+    The columnar serving contract (``classify_block``, wire protocol v2):
+    ``rule_id == -1`` and ``priority == 0`` mark a miss.  Shared by every
+    engine stack's generic ``classify_block`` fallback so the columnar and
+    object paths cannot disagree on the encoding.
+    """
+    n = len(results)
+    rule_ids = np.empty(n, dtype=np.int64)
+    priorities = np.empty(n, dtype=np.int64)
+    for row, result in enumerate(results):
+        rule = result.rule
+        if rule is None:
+            rule_ids[row] = -1
+            priorities[row] = 0
+        else:
+            rule_ids[row] = rule.rule_id
+            priorities[row] = rule.priority
+    return rule_ids, priorities
 
 
 class BatchReport:
@@ -182,6 +213,22 @@ class ClassificationEngine:
     ) -> list[ClassificationResult]:
         """Classify a batch of packets (vectorized where the classifier allows)."""
         return self.classifier.classify_batch(packets)
+
+    def classify_block(
+        self, block: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar lookup: ``(n, fields)`` uint64 block → ``(rule_ids, priorities)``.
+
+        The serving data plane's native shape (shared-memory rings, wire
+        protocol v2).  Engine stacks with a vectorized path override this;
+        the generic implementation routes through :meth:`classify_batch`
+        (block rows act as packet tuples) and collapses the results with
+        :func:`results_to_arrays`.
+        """
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError("packet block must be 2-dimensional")
+        return results_to_arrays(self.classify_batch(block))
 
     def serve(
         self, packets: Iterable[Packet | Sequence[int]], batch_size: int = 128

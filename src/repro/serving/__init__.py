@@ -19,7 +19,10 @@ See :mod:`repro.serving.sharded` for the engine,
 policy, :mod:`repro.serving.flowcache` for the exact-match flow cache that
 exploits the skewed traffic of the paper's §5.1.1 evaluation, and
 :mod:`repro.serving.server` for the asyncio TCP front-end that coalesces
-concurrent network requests into micro-batches (``repro serve --listen``).
+concurrent network requests into micro-batches (``repro serve --listen``),
+:mod:`repro.serving.workers` for the persistent shared-memory shard-worker
+runtime behind ``executor="workers"``, and :mod:`repro.serving.wire` for the
+binary wire protocol v2 the server and clients negotiate per connection.
 """
 
 from repro.serving.flowcache import (
@@ -43,9 +46,14 @@ from repro.serving.server import (
 )
 from repro.serving.sharded import EXECUTORS, ShardedEngine
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
+from repro.serving.wire import WIRE_V2
+from repro.serving.workers import ShardWorkerRuntime, WorkerCrashed
 
 __all__ = [
     "ShardedEngine",
+    "ShardWorkerRuntime",
+    "WorkerCrashed",
+    "WIRE_V2",
     "UpdateQueue",
     "FlowCache",
     "CachedEngine",

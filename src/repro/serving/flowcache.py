@@ -469,6 +469,22 @@ class CachedEngine:
             )
         return results  # type: ignore[return-value]
 
+    def classify_block(self, block) -> tuple:
+        """Columnar lookup through the cache (see
+        :meth:`repro.engine.ClassificationEngine.classify_block`).
+
+        Routed through :meth:`classify_batch` so probe/fill/invalidation
+        semantics are identical on the columnar path.
+        """
+        import numpy as np
+
+        from repro.engine.engine import results_to_arrays
+
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError("packet block must be 2-dimensional")
+        return results_to_arrays(self.classify_batch(block))
+
     def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
         return self.classify_batch([packet])[0]
 

@@ -42,6 +42,11 @@ Responses are ``{"id": ..., "ok": true, ...}`` on success or
 (backpressure) and ``"bad-request"``/``"error"`` otherwise.  A classify
 response carries ``matched``, ``rule_id``, ``priority`` and ``action``
 (``rule_id``/``priority``/``action`` are ``null`` on a miss).
+
+Protocol v2 (:mod:`repro.serving.wire`) adds a binary classify-batch fast
+path negotiated per connection via the ``hello`` op; JSON remains the
+fallback and the control plane.  See docs/PROTOCOL.md for the normative
+spec.
 """
 
 from __future__ import annotations
@@ -57,8 +62,10 @@ from typing import Awaitable, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.engine import results_to_arrays
 from repro.engine.serialization import rule_from_state, rule_to_state
 from repro.rules.rule import Packet, Rule
+from repro.serving import wire
 
 __all__ = [
     "DEFAULT_MAX_BATCH",
@@ -367,8 +374,13 @@ class AsyncServer:
         max_delay_us: float = DEFAULT_MAX_DELAY_US,
         max_queue: int = DEFAULT_MAX_QUEUE,
         clock: Callable[[], float] = time.monotonic,
+        wire_v2: bool = True,
     ):
         self.engine = engine
+        #: Offer binary protocol v2 in ``hello`` negotiation (v1 JSON always
+        #: stays available; False emulates a pre-v2 server).
+        self.wire_v2 = wire_v2
+        self._binary_batches = 0
         self.batcher = RequestBatcher(
             max_batch=max_batch,
             max_delay_us=max_delay_us,
@@ -456,7 +468,7 @@ class AsyncServer:
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    frame = await wire.read_any_frame(reader)
                 except (ValueError, json.JSONDecodeError):
                     async with write_lock:
                         write_frame(
@@ -470,13 +482,19 @@ class AsyncServer:
                         )
                         await writer.drain()
                     break
-                if request is None:
+                if frame is None:
                     break
+                kind, request = frame
                 # One task per request: classifies from one connection can sit
                 # in the same micro-batch while later frames are being read.
-                task = loop.create_task(
-                    self._serve_request(request, writer, write_lock)
-                )
+                if kind == "binary":
+                    task = loop.create_task(
+                        self._serve_binary(request, writer, write_lock)
+                    )
+                else:
+                    task = loop.create_task(
+                        self._serve_request(request, writer, write_lock)
+                    )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             if tasks:
@@ -505,8 +523,9 @@ class AsyncServer:
         response["id"] = request_id
         # Only successful work counts as served; rejected/errored requests
         # show up in the batcher's `rejected` counter and the error responses
-        # themselves, so goodput stays readable from the stats.
-        if response.get("ok"):
+        # themselves, so goodput stays readable from the stats.  Protocol
+        # negotiation is connection setup, not work.
+        if response.get("ok") and request.get("op") != "hello":
             self._requests_served += 1
         async with write_lock:
             write_frame(writer, response)
@@ -532,6 +551,14 @@ class AsyncServer:
             return {"ok": True, "removed": bool(removed)}
         if op == "stats":
             return {"ok": True, "stats": await self._in_worker(self.statistics)}
+        if op == "hello" and self.wire_v2:
+            offered = request.get("protocols")
+            if not isinstance(offered, list):
+                raise ValueError("hello must carry a 'protocols' list")
+            granted = [wire.WIRE_V2] if wire.WIRE_V2 in offered else []
+            return {"ok": True, "protocols": granted}
+        # With wire_v2 disabled, 'hello' falls through to the unknown-op
+        # rejection — exactly what a pre-v2 server answers.
         raise ValueError(f"unknown op {op!r}")
 
     async def _op_classify(self, request: dict) -> dict:
@@ -548,6 +575,68 @@ class AsyncServer:
             "priority": rule.priority if rule is not None else None,
             "action": rule.action if rule is not None else None,
         }
+
+    # ----------------------------------------------------------- binary path
+
+    def _classify_block(self, block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar classify on the engine worker thread.
+
+        Engine stacks expose ``classify_block`` (vectorized through the
+        shard-worker rings where available); the ``classify_batch`` fallback
+        keeps foreign engine objects servable.
+        """
+        classify_block = getattr(self.engine, "classify_block", None)
+        if classify_block is not None:
+            return classify_block(block)
+        return results_to_arrays(self.engine.classify_batch(block))
+
+    async def _serve_binary(
+        self, payload: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        """Serve one v2 classify-batch frame.
+
+        The batch arrives pre-formed, so it bypasses the coalescing batcher
+        and runs as one ``classify_block`` call on the same single-threaded
+        engine executor all other ops serialize through — the
+        eviction-before-ack ordering holds unchanged (an acknowledged update
+        already ran on that executor before this batch does).
+        """
+        request_id = 0
+        response: bytes
+        try:
+            request_id, block = wire.decode_classify_request(payload)
+            num_fields = len(self.engine.ruleset.schema)
+            if block.shape[1] != num_fields:
+                raise ValueError(
+                    f"packets have {block.shape[1]} fields, engine expects "
+                    f"{num_fields}"
+                )
+            start = self._clock()
+            rule_ids, priorities = await self._in_worker(
+                self._classify_block, block
+            )
+            self._latencies_us.append((self._clock() - start) * 1e6)
+            response = wire.encode_classify_response(
+                request_id, rule_ids, priorities
+            )
+            self._requests_served += 1
+            self._binary_batches += 1
+        except QueueFullError:
+            response = wire.encode_error_response(
+                request_id, wire.STATUS_OVERLOADED
+            )
+        except (wire.WireError, KeyError, TypeError, ValueError):
+            response = wire.encode_error_response(
+                request_id, wire.STATUS_BAD_REQUEST
+            )
+        except Exception:  # noqa: BLE001 - reported to the client
+            response = wire.encode_error_response(request_id, wire.STATUS_ERROR)
+        async with write_lock:
+            wire.write_binary_frame(writer, response)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
 
     # ----------------------------------------------------------- introspection
 
@@ -569,6 +658,8 @@ class AsyncServer:
                 "port": self.port,
                 "connections": self._connections,
                 "requests_served": self._requests_served,
+                "wire_v2": self.wire_v2,
+                "binary_batches": self._binary_batches,
                 "supports_updates": bool(
                     getattr(self.engine, "supports_updates", False)
                 ),
@@ -594,39 +685,78 @@ class AsyncClient:
     reader task matches responses to requests by id.  All methods raise
     :class:`ServerError` on an ``ok: false`` response (``exc.code`` carries
     the server's error code, e.g. ``"overloaded"`` under backpressure).
+
+    :meth:`connect` negotiates binary protocol v2 by default: when the server
+    grants it, :meth:`classify_batch` travels as one fixed-width binary frame
+    instead of per-packet JSON requests; against an older server the client
+    silently stays on JSON.  ``client.wire_v2`` reports the outcome.
     """
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         self._reader = reader
         self._writer = writer
         self._pending: dict[int, asyncio.Future] = {}
+        self._binary_pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
+        self.wire_v2 = False
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncClient":
+    async def connect(
+        cls, host: str, port: int, negotiate: bool = True
+    ) -> "AsyncClient":
+        """Connect; with ``negotiate`` (default) attempt the v2 upgrade.
+
+        Negotiation is one ``hello`` round-trip.  An older server rejects the
+        unknown op with ``code: "bad-request"`` — the client swallows exactly
+        that error and stays on JSON (``negotiate=False`` skips the
+        round-trip and emulates a pre-v2 client).
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if negotiate:
+            try:
+                response = await client.request(
+                    "hello", protocols=[wire.WIRE_V2]
+                )
+                client.wire_v2 = wire.WIRE_V2 in response.get("protocols", [])
+            except ServerError as exc:
+                if exc.code != "bad-request":
+                    await client.close()
+                    raise
+        return client
 
     async def _read_loop(self) -> None:
         error: Exception | None = None
         try:
             while True:
-                response = await read_frame(self._reader)
-                if response is None:
+                frame = await wire.read_any_frame(self._reader)
+                if frame is None:
                     break
+                kind, response = frame
+                if kind == "binary":
+                    request_id, status, rule_ids, priorities = (
+                        wire.decode_classify_response(response)
+                    )
+                    future = self._binary_pending.pop(request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result((status, rule_ids, priorities))
+                    continue
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
         except Exception as exc:  # noqa: BLE001 - fanned out to waiters
             error = exc
-        for future in self._pending.values():
+        for future in list(self._pending.values()) + list(
+            self._binary_pending.values()
+        ):
             if not future.done():
                 future.set_exception(
                     error or ConnectionError("connection closed by server")
                 )
         self._pending.clear()
+        self._binary_pending.clear()
 
     async def request(self, op: str, **fields) -> dict:
         """Send one request and await its matched response (raw dict)."""
@@ -656,6 +786,60 @@ class AsyncClient:
     async def classify(self, packet: Packet | Sequence[int]) -> dict:
         """Classify one packet; returns the response dict (see module docs)."""
         return await self.request("classify", packet=list(_packet_values(packet)))
+
+    async def classify_batch(self, packets: Sequence) -> list[dict]:
+        """Classify a batch; one ``{"matched", "rule_id", "priority"}`` dict
+        per packet (``rule_id``/``priority`` are ``None`` on a miss).
+
+        On a v2 connection the whole batch travels as one binary frame; on
+        JSON it fans out as pipelined per-packet requests.  Both paths return
+        the same normalized dicts — binary responses carry no action strings,
+        so neither path exposes them (use :meth:`classify` for actions).
+        """
+        block = wire.packet_block(packets)
+        if self.wire_v2:
+            status, rule_ids, priorities = await self._classify_block(block)
+            if status != wire.STATUS_OK:
+                code = wire.STATUS_CODES.get(status, "error")
+                raise ServerError(f"binary classify batch failed ({code})", code)
+            return [
+                {
+                    "matched": bool(rule_id >= 0),
+                    "rule_id": int(rule_id) if rule_id >= 0 else None,
+                    "priority": int(priority) if rule_id >= 0 else None,
+                }
+                for rule_id, priority in zip(rule_ids, priorities)
+            ]
+        responses = await asyncio.gather(
+            *(self.classify(tuple(int(v) for v in row)) for row in block)
+        )
+        return [
+            {
+                "matched": bool(response["matched"]),
+                "rule_id": response["rule_id"],
+                "priority": response["priority"],
+            }
+            for response in responses
+        ]
+
+    async def _classify_block(
+        self, block: np.ndarray
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Send one binary classify-batch frame; await its matched response."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._binary_pending[request_id] = future
+        if self._reader_task.done():
+            self._binary_pending.pop(request_id, None)
+            raise ConnectionError("connection closed by server")
+        wire.write_binary_frame(
+            self._writer, wire.encode_classify_request(request_id, block)
+        )
+        await self._writer.drain()
+        return await future
 
     async def insert(self, rule: Rule) -> dict:
         return await self.request("insert", rule=rule_to_state(rule))

@@ -18,6 +18,12 @@ Executors:
   the shard engines from their snapshot documents; useful when lookups are
   dominated by pure-Python classifier code.  The pool is resynced
   automatically after a shard retrain swaps an engine.
+* ``"workers"`` — the persistent shard-worker runtime
+  (:mod:`repro.serving.workers`): long-lived spawn processes fed through
+  per-shard columnar shared-memory rings, no per-call pickling.  Engine swaps
+  republish the shard's snapshot segment instead of tearing workers down.
+  This is the executor that makes *measured* sharded throughput scale; the
+  serving CLI defaults to it when ``shards > 1``.
 * ``"serial"`` — in-process loop, for debugging and deterministic tests.
 
 Online updates go through :class:`~repro.serving.updates.UpdateQueue`:
@@ -33,6 +39,8 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.classifiers.base import (
     ClassificationResult,
@@ -52,11 +60,17 @@ from repro.engine.serialization import (
 from repro.rules.rule import Packet, Rule, RuleSet
 from repro.serving.partitioning import PARTITIONERS, partition_for_shards
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
+from repro.serving.workers import (
+    MISS_PRIORITY,
+    TRACE_FIELDS,
+    ShardWorkerRuntime,
+    WorkerCrashed,
+)
 
 __all__ = ["EXECUTORS", "ShardedEngine"]
 
 #: Accepted fan-out strategies.
-EXECUTORS = ("thread", "process", "serial")
+EXECUTORS = ("thread", "process", "workers", "serial")
 
 #: ``kind`` discriminator stored in sharded snapshot documents.
 _SHARDED_KIND = "sharded-engine"
@@ -86,6 +100,8 @@ class _Shard:
         self.retrain_count = 0
         self._base_ids: set[int] = set()
         self._base_ids_generation = -1
+        self._by_id: dict[int, Rule] = {}
+        self._by_id_generation = -1
 
     # ------------------------------------------------------------- live view
 
@@ -96,6 +112,24 @@ class _Shard:
                 self._base_ids = {rule.rule_id for rule in self.engine.ruleset}
                 self._base_ids_generation = self.generation
             return self._base_ids
+
+    def rules_by_id(self, engine: ClassificationEngine) -> dict[int, Rule]:
+        """``rule_id -> Rule`` for ``engine``'s built rules.
+
+        Cached per generation when ``engine`` is the shard's current engine
+        (the worker-runtime result path resolves every returned id through
+        this); built ad hoc for a stale snapshot engine (a retrain swapped
+        mid-call — rare).
+        """
+        with self.lock:
+            if engine is self.engine:
+                if self._by_id_generation != self.generation:
+                    self._by_id = {
+                        rule.rule_id: rule for rule in self.engine.ruleset
+                    }
+                    self._by_id_generation = self.generation
+                return self._by_id
+        return {rule.rule_id: rule for rule in engine.ruleset}
 
     def live_ids(self) -> set[int]:
         with self.lock:
@@ -381,6 +415,8 @@ class ShardedEngine:
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
         self._process_generations: list[int] | None = None
+        self._worker_runtime: ShardWorkerRuntime | None = None
+        self._worker_generations: list[int] | None = None
         self._pool_lock = threading.Lock()
 
     def _rebuild_shard(self, shard: _Shard) -> tuple[ClassificationEngine, int]:
@@ -482,9 +518,15 @@ class ShardedEngine:
         simulation layer can price each shard's work separately (per-shard
         latency → parallel batch latency).
         """
-        packet_list = list(packets)
-        if not packet_list:
+        packet_list = (
+            packets if isinstance(packets, np.ndarray) else list(packets)
+        )
+        if len(packet_list) == 0:
             return [[] for _ in self._shards]
+        if self._executor_kind == "workers":
+            # Sync the runtime before snapshotting so workers serve the same
+            # generation the snapshots describe.
+            self._ensure_worker_runtime()
         snapshots = [shard.snapshot() for shard in self._shards]
         base_results = self._fan_out(packet_list, snapshots)
         return [
@@ -497,9 +539,15 @@ class ShardedEngine:
     def classify_batch(
         self, packets: Sequence[Packet | Sequence[int]]
     ) -> list[ClassificationResult]:
-        """Classify a batch; identical matches to an unsharded engine."""
-        packet_list = list(packets)
-        if not packet_list:
+        """Classify a batch; identical matches to an unsharded engine.
+
+        Accepts a list of packets/tuples or a 2-d numpy block (rows are
+        packets) — the latter skips per-packet conversion on the workers path.
+        """
+        packet_list = (
+            packets if isinstance(packets, np.ndarray) else list(packets)
+        )
+        if len(packet_list) == 0:
             return []
         per_shard = self.classify_batch_per_shard(packet_list)
         merged: list[ClassificationResult] = []
@@ -518,6 +566,42 @@ class ShardedEngine:
                     winner = rule
             merged.append(ClassificationResult(winner, LookupTrace.aggregate(traces)))
         return merged
+
+    def classify_block(
+        self, block: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar fast path: ``(n, fields)`` block → ``(rule_ids, priorities)``.
+
+        With ``executor="workers"`` and no pending update overlay the block
+        travels straight through the shared-memory rings and the per-shard
+        winners merge vectorized — no per-packet Python objects anywhere.
+        Otherwise falls back to :meth:`classify_batch` (overlay semantics
+        preserved).  Misses carry ``rule_id == -1`` and ``priority == 0``.
+        """
+        block = np.ascontiguousarray(np.asarray(block, dtype=np.uint64))
+        if block.ndim != 2:
+            raise ValueError("packet block must be 2-dimensional")
+        if self._executor_kind == "workers" and len(block) > 0:
+            snapshots = [shard.snapshot() for shard in self._shards]
+            if all(
+                not overlay and not removed
+                for _engine, overlay, removed in snapshots
+            ):
+                outputs = self._runtime_classify(block)
+                rule_ids, priorities, _traces = outputs[0]
+                rule_ids = rule_ids.copy()
+                priorities = priorities.copy()
+                for other_ids, other_pris, _traces in outputs[1:]:
+                    better = (other_pris < priorities) | (
+                        (other_pris == priorities) & (other_ids < rule_ids)
+                    )
+                    np.copyto(rule_ids, other_ids, where=better)
+                    np.copyto(priorities, other_pris, where=better)
+                priorities[rule_ids < 0] = 0
+                return rule_ids, priorities
+        from repro.engine.engine import results_to_arrays
+
+        return results_to_arrays(self.classify_batch(block))
 
     def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
         return self.classify_batch([packet])[0]
@@ -553,9 +637,11 @@ class ShardedEngine:
     # ---------------------------------------------------------------- fan-out
 
     def _fan_out(
-        self, packets: list, snapshots: list
+        self, packets, snapshots: list
     ) -> list[list[ClassificationResult]]:
         engines = [engine for engine, _overlay, _removed in snapshots]
+        if self._executor_kind == "workers":
+            return self._fan_out_workers(packets, engines)
         if self._executor_kind == "serial" or len(engines) == 1:
             return [engine.classify_batch(packets) for engine in engines]
         if self._executor_kind == "thread":
@@ -571,6 +657,74 @@ class ShardedEngine:
         ]
         return [future.result() for future in futures]
 
+    def _fan_out_workers(
+        self, packets, engines: list[ClassificationEngine]
+    ) -> list[list[ClassificationResult]]:
+        """Classify through the shard-worker rings, rehydrating results.
+
+        Workers return columnar ``(rule_id, priority, trace)`` arrays; each
+        id resolves to its :class:`Rule` through the shard's per-generation
+        map so the caller sees ordinary :class:`ClassificationResult` lists
+        (the overlay adjustment and merge paths are shared with the other
+        executors).
+        """
+        if isinstance(packets, np.ndarray):
+            block = np.ascontiguousarray(packets, dtype=np.uint64)
+        else:
+            block = np.array(
+                [
+                    packet.values if isinstance(packet, Packet) else tuple(packet)
+                    for packet in packets
+                ],
+                dtype=np.uint64,
+            )
+        outputs = self._runtime_classify(block)
+        fan_out: list[list[ClassificationResult]] = []
+        for shard, engine, (rule_ids, _priorities, traces) in zip(
+            self._shards, engines, outputs
+        ):
+            by_id = shard.rules_by_id(engine)
+            current = None
+            results: list[ClassificationResult] = []
+            for row in range(len(rule_ids)):
+                rule_id = int(rule_ids[row])
+                rule = None
+                if rule_id >= 0:
+                    rule = by_id.get(rule_id)
+                    if rule is None:
+                        # Retrain swapped engines mid-call: the worker served
+                        # a different generation than the snapshot.  Resolve
+                        # through the current engine's map.
+                        if current is None:
+                            current = shard.rules_by_id(shard.engine)
+                        rule = current.get(rule_id)
+                trace = LookupTrace(
+                    index_accesses=int(traces[row, 0]),
+                    rule_accesses=int(traces[row, 1]),
+                    model_accesses=int(traces[row, 2]),
+                    compute_ops=int(traces[row, 3]),
+                    hash_ops=int(traces[row, 4]),
+                )
+                results.append(ClassificationResult(rule, trace))
+            fan_out.append(results)
+        return fan_out
+
+    def _runtime_classify(
+        self, block: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Run a block through the worker runtime, restarting it once if a
+        worker died (fresh snapshots, same generations semantics)."""
+        runtime = self._ensure_worker_runtime()
+        try:
+            return runtime.classify_block(block)
+        except WorkerCrashed:
+            with self._pool_lock:
+                if self._worker_runtime is runtime:
+                    runtime.close()
+                    self._worker_runtime = None
+                    self._worker_generations = None
+            return self._ensure_worker_runtime().classify_block(block)
+
     def _ensure_thread_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._thread_pool is None:
@@ -580,13 +734,34 @@ class ShardedEngine:
                 )
             return self._thread_pool
 
+    @staticmethod
+    def _retire_process_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down without letting a dead worker leak the rest.
+
+        ``shutdown`` on a broken pool (a worker killed mid-swap) can raise;
+        the remaining workers must still be reaped, so fall back to a
+        non-waiting shutdown with queued work cancelled.
+        """
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         """The worker pool, resynced whenever a retrain swapped an engine."""
         with self._pool_lock:
             generations = [shard.generation for shard in self._shards]
             if self._process_pool is None or generations != self._process_generations:
-                if self._process_pool is not None:
-                    self._process_pool.shutdown(wait=True)
+                # Drop the reference before retiring: if the new pool's
+                # construction fails, a later call must not touch the retired
+                # pool again.
+                stale, self._process_pool = self._process_pool, None
+                self._process_generations = None
+                if stale is not None:
+                    self._retire_process_pool(stale)
                 documents = [
                     shard.engine.to_document() for shard in self._shards
                 ]
@@ -598,6 +773,27 @@ class ShardedEngine:
                 self._process_generations = generations
             return self._process_pool
 
+    def _ensure_worker_runtime(self) -> ShardWorkerRuntime:
+        """The shard-worker runtime, started lazily; engine swaps republish
+        the affected shard's snapshot instead of restarting anything."""
+        with self._pool_lock:
+            generations = [shard.generation for shard in self._shards]
+            if self._worker_runtime is None:
+                runtime = ShardWorkerRuntime()
+                runtime.start([shard.engine for shard in self._shards])
+                self._worker_runtime = runtime
+                self._worker_generations = generations
+            elif generations != self._worker_generations:
+                for index, (seen, now) in enumerate(
+                    zip(self._worker_generations, generations)
+                ):
+                    if seen != now:
+                        self._worker_runtime.publish(
+                            index, self._shards[index].engine
+                        )
+                self._worker_generations = generations
+            return self._worker_runtime
+
     def close(self) -> None:
         """Shut down worker pools and wait for in-flight retrains."""
         self.updates.join()
@@ -606,9 +802,13 @@ class ShardedEngine:
                 self._thread_pool.shutdown(wait=True)
                 self._thread_pool = None
             if self._process_pool is not None:
-                self._process_pool.shutdown(wait=True)
-                self._process_pool = None
+                stale, self._process_pool = self._process_pool, None
                 self._process_generations = None
+                self._retire_process_pool(stale)
+            if self._worker_runtime is not None:
+                runtime, self._worker_runtime = self._worker_runtime, None
+                self._worker_generations = None
+                runtime.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self

@@ -20,9 +20,14 @@ provides that client side:
 Traces come from :func:`repro.workloads.make_trace`, so the §5.1.1 skew
 regimes (uniform / zipf-{80,85,90,95} / caida) apply to network serving
 unchanged.  The wire protocol the clients speak is specified in
-docs/PROTOCOL.md; ``overloaded`` rejections from the server's bounded queue
-are counted per :class:`LoadReport` rather than raised, so offered-load
-sweeps can ride through backpressure.
+docs/PROTOCOL.md; by default each connection negotiates binary protocol v2
+(``protocol="auto"``) and falls back to JSON against older servers;
+``protocol="json"`` pins the v1 encoding for baseline comparisons.  With
+``batch > 1`` packets travel as pre-formed classify batches (one v2 frame,
+or pipelined JSON requests) instead of per-packet sends.  ``overloaded``
+rejections from the server's bounded queue are counted per
+:class:`LoadReport` rather than raised, so offered-load sweeps can ride
+through backpressure.
 """
 
 from __future__ import annotations
@@ -55,6 +60,8 @@ class LoadReport:
     latency_p99_us: float
     connections: int
     window: int
+    batch: int = 1
+    protocol: str = "json"
     server: dict = field(default_factory=dict)
 
     @property
@@ -77,6 +84,8 @@ class LoadReport:
             "latency_p99_us": round(self.latency_p99_us, 1),
             "connections": self.connections,
             "window": self.window,
+            "batch": self.batch,
+            "protocol": self.protocol,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "server": self.server,
         }
@@ -91,6 +100,8 @@ async def _drive_connection(
     window: int,
     latencies_us: list[float],
     counters: dict[str, int],
+    batch: int = 1,
+    negotiate: bool = True,
 ) -> None:
     """One connection's share: scheduled sends, bounded in-flight window."""
     inflight = asyncio.Semaphore(window)
@@ -116,10 +127,44 @@ async def _drive_connection(
             latencies_us.append((time.monotonic() - scheduled) * 1e6)
             inflight.release()
 
-    async with await AsyncClient.connect(host, port) as client:
-        for index, packet in enumerate(packets):
-            if schedule is not None:
-                scheduled = start_at + schedule[index]
+    async def _many(group: list[tuple[int, ...]], scheduled: float) -> None:
+        try:
+            responses = await client.classify_batch(group)
+            counters["matched"] += sum(1 for r in responses if r["matched"])
+            counters["completed"] += len(responses)
+        except ServerError as exc:
+            if exc.code == "overloaded":
+                counters["overloaded"] += len(group)
+            else:
+                counters["errors"] += len(group)
+        except (ConnectionError, RuntimeError):
+            counters["errors"] += len(group)
+        finally:
+            latencies_us.append((time.monotonic() - scheduled) * 1e6)
+            inflight.release()
+
+    async with await AsyncClient.connect(host, port, negotiate=negotiate) as client:
+        if client.wire_v2:
+            counters["wire_v2"] = counters.get("wire_v2", 0) + 1
+        if batch <= 1:
+            units: Sequence = packets
+            send = _one
+            unit_schedule = schedule
+        else:
+            units = [
+                list(packets[start : start + batch])
+                for start in range(0, len(packets), batch)
+            ]
+            send = _many
+            # A batch inherits its first packet's scheduled arrival.
+            unit_schedule = (
+                [schedule[start] for start in range(0, len(packets), batch)]
+                if schedule is not None
+                else None
+            )
+        for index, unit in enumerate(units):
+            if unit_schedule is not None:
+                scheduled = start_at + unit_schedule[index]
                 delay = scheduled - time.monotonic()
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -131,9 +176,9 @@ async def _drive_connection(
             # (coordinated omission).
             tasks.append(
                 loop.create_task(
-                    _one(
-                        packet,
-                        time.monotonic() if schedule is None else scheduled,
+                    send(
+                        unit,
+                        time.monotonic() if unit_schedule is None else scheduled,
                     )
                 )
             )
@@ -148,6 +193,8 @@ async def open_loop_load(
     connections: int = 4,
     window: int = 32,
     rate_pps: float | None = None,
+    batch: int = 1,
+    protocol: str = "auto",
 ) -> LoadReport:
     """Fire ``packets`` at the server and report client-observed behaviour.
 
@@ -160,11 +207,21 @@ async def open_loop_load(
         window: Max in-flight requests per connection.
         rate_pps: Offered arrival rate across all connections; ``None``
             offers as fast as the windows allow.
+        batch: Packets per classify request; > 1 sends pre-formed batches
+            (one binary frame each on a v2 connection).  The in-flight
+            window then counts batches, and ``rate_pps`` still paces
+            *packets* (a batch departs at its first packet's arrival time).
+        protocol: ``"auto"`` negotiates binary v2 with JSON fallback;
+            ``"json"`` pins v1 (the pre-v2 client behaviour).
     """
     if connections < 1:
         raise ValueError("connections must be at least 1")
     if window < 1:
         raise ValueError("window must be at least 1")
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    if protocol not in ("auto", "json"):
+        raise ValueError("protocol must be 'auto' or 'json'")
     values = [
         packet if isinstance(packet, tuple) else tuple(packet) for packet in packets
     ]
@@ -193,6 +250,8 @@ async def open_loop_load(
                 window,
                 latencies_us,
                 counters,
+                batch=batch,
+                negotiate=protocol == "auto",
             )
             for conn in range(connections)
             if shares[conn]
@@ -221,6 +280,8 @@ async def open_loop_load(
         latency_p99_us=float(np.percentile(window_us, 99)),
         connections=connections,
         window=window,
+        batch=batch,
+        protocol="v2" if counters.get("wire_v2") else "json",
         server=server_stats,
     )
 
@@ -232,6 +293,8 @@ def run_load(
     connections: int = 4,
     window: int = 32,
     rate_pps: float | None = None,
+    batch: int = 1,
+    protocol: str = "auto",
 ) -> LoadReport:
     """Blocking wrapper around :func:`open_loop_load`."""
     return asyncio.run(
@@ -242,5 +305,7 @@ def run_load(
             connections=connections,
             window=window,
             rate_pps=rate_pps,
+            batch=batch,
+            protocol=protocol,
         )
     )

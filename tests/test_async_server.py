@@ -379,6 +379,41 @@ class TestOpenLoopLoadGenerator:
 
         run_scenario_coro(scenario())
 
+    def test_batched_load_rides_wire_v2_with_json_pin(self, server_rules):
+        async def scenario():
+            engine = ClassificationEngine.build(server_rules, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                packets = [
+                    tuple(p) for p in server_rules.sample_packets(96, seed=48)
+                ]
+                batched = await open_loop_load(
+                    server.host, server.port, packets, connections=2, batch=8
+                )
+                pinned = await open_loop_load(
+                    server.host,
+                    server.port,
+                    packets,
+                    connections=2,
+                    batch=8,
+                    protocol="json",
+                )
+            assert batched.protocol == "v2" and batched.batch == 8
+            assert pinned.protocol == "json"
+            for report in (batched, pinned):
+                assert report.completed == 96
+                assert report.errors == 0
+                assert report.matched == batched.matched
+            assert batched.server["server"]["binary_batches"] >= 96 // 8
+            with pytest.raises(ValueError, match="batch"):
+                await open_loop_load(server.host, server.port, packets, batch=0)
+            with pytest.raises(ValueError, match="protocol"):
+                await open_loop_load(
+                    server.host, server.port, packets, protocol="v3"
+                )
+
+        run_scenario_coro(scenario())
+
     def test_rate_limited_load_respects_offered_rate(self, server_rules):
         async def scenario():
             engine = ClassificationEngine.build(server_rules, classifier="tm")

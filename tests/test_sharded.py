@@ -272,6 +272,84 @@ class TestRetraining:
                     }
 
 
+class TestProcessPoolTeardown:
+    """Regressions for the process-pool resync on engine swap: a retrain
+    mid-load must rotate the pool without leaking workers, even when a pool
+    worker died before the swap."""
+
+    def _churn_engine(self, acl_small):
+        return ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="linear",
+            executor="process",
+            background_retraining=False,
+            retrain_threshold=0.05,
+        )
+
+    def test_swap_under_concurrent_classify_load(self, acl_small):
+        import threading
+
+        with self._churn_engine(acl_small) as engine:
+            packets = acl_small.sample_packets(20, seed=101)
+            engine.classify_batch(packets)  # warm the pool
+            errors: list[BaseException] = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        assert len(engine.classify_batch(packets)) == len(packets)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                # Each retrain bumps a shard generation → pool resync races
+                # the classify thread.
+                for index in range(40):
+                    template = acl_small.rules[index]
+                    engine.insert(
+                        Rule(template.ranges, template.priority, "new", 96_000 + index)
+                    )
+            finally:
+                stop.set()
+                thread.join(timeout=60.0)
+            assert not errors
+            assert engine.updates.retrains_triggered > 0
+            assert engine.verify(acl_small.sample_packets(40, seed=102)) == 40
+
+    def test_dead_worker_does_not_leak_pool_on_swap(self, acl_small):
+        import multiprocessing
+
+        with self._churn_engine(acl_small) as engine:
+            packets = acl_small.sample_packets(20, seed=103)
+            expected = _keys(engine.classify_batch(packets))
+            pool = engine._process_pool
+            victim = next(iter(pool._processes.values()))
+            victim.kill()
+            victim.join()
+            # Trigger a retrain (generation bump) so the next classify must
+            # retire the broken pool and build a fresh one.
+            for index in range(40):
+                template = acl_small.rules[index]
+                engine.insert(
+                    Rule(template.ranges, template.priority, "new", 97_000 + index)
+                )
+            assert engine.updates.retrains_triggered > 0
+            # Duplicates lose the (priority, rule_id) tie-break, so winners
+            # are unchanged — and they came from a rebuilt pool.
+            assert _keys(engine.classify_batch(packets)) == expected
+            assert engine._process_pool is not pool
+            assert engine.verify(acl_small.sample_packets(30, seed=104)) == 30
+        # close() reaped both the broken pool's survivors and the fresh pool.
+        for child in multiprocessing.active_children():
+            assert not child.name.startswith("shard-worker")
+        assert engine._process_pool is None
+
+
 class TestPersistence:
     def test_round_trip_with_overlay(self, acl_small, tmp_path):
         with ShardedEngine.build(

@@ -1,0 +1,243 @@
+"""Tests for binary wire protocol v2: codecs, negotiation, fallback, and the
+JSON-vs-binary equivalence property.
+
+The codec tests are pure (no sockets).  The end-to-end tests drive a live
+:class:`AsyncServer`; the central property mirrors docs/PROTOCOL.md's promise
+that protocol choice is *invisible* in the results — for arbitrary batches, a
+v2 connection and a JSON connection return identical
+``(matched, rule_id, priority)`` triples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ClassificationEngine
+from repro.rules.rule import Rule, RuleSet
+from repro.serving import AsyncClient, AsyncServer, ServerError
+from repro.serving import wire
+
+VALUES = st.integers(min_value=0, max_value=7)
+PACKETS = st.tuples(VALUES, VALUES, VALUES, VALUES, VALUES)
+RANGES = st.tuples(
+    *[st.tuples(VALUES, VALUES).map(lambda pair: tuple(sorted(pair)))] * 5
+)
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+I64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+SCENARIO_DEADLINE = 60.0
+
+
+class TestCodecs:
+    @settings(max_examples=50)
+    @given(
+        request_id=U64,
+        rows=st.lists(
+            st.lists(U64, min_size=1, max_size=8), min_size=1, max_size=20
+        ).filter(lambda rows: len({len(row) for row in rows}) == 1),
+    )
+    def test_request_round_trip(self, request_id, rows):
+        block = np.array(rows, dtype=np.uint64)
+        payload = wire.encode_classify_request(request_id, block)
+        decoded_id, decoded = wire.decode_classify_request(payload)
+        assert decoded_id == request_id
+        np.testing.assert_array_equal(decoded, block)
+
+    @settings(max_examples=50)
+    @given(
+        request_id=U64,
+        pairs=st.lists(st.tuples(I64, I64), min_size=0, max_size=20),
+    )
+    def test_response_round_trip(self, request_id, pairs):
+        rule_ids = np.array([p[0] for p in pairs], dtype=np.int64)
+        priorities = np.array([p[1] for p in pairs], dtype=np.int64)
+        payload = wire.encode_classify_response(request_id, rule_ids, priorities)
+        decoded_id, status, decoded_ids, decoded_pris = (
+            wire.decode_classify_response(payload)
+        )
+        assert decoded_id == request_id
+        assert status == wire.STATUS_OK
+        np.testing.assert_array_equal(decoded_ids, rule_ids)
+        np.testing.assert_array_equal(decoded_pris, priorities)
+
+    def test_error_response_round_trip(self):
+        payload = wire.encode_error_response(9, wire.STATUS_OVERLOADED)
+        request_id, status, rule_ids, priorities = wire.decode_classify_response(
+            payload
+        )
+        assert (request_id, status) == (9, wire.STATUS_OVERLOADED)
+        assert len(rule_ids) == 0 and len(priorities) == 0
+        with pytest.raises(ValueError, match="non-OK"):
+            wire.encode_error_response(9, wire.STATUS_OK)
+
+    def test_decode_rejects_malformed_payloads(self):
+        good = wire.encode_classify_request(1, np.ones((2, 5), dtype=np.uint64))
+        with pytest.raises(wire.WireError, match="shorter"):
+            wire.decode_classify_request(good[:4])
+        with pytest.raises(wire.WireError, match="length"):
+            wire.decode_classify_request(good + b"\x00" * 8)
+        with pytest.raises(wire.WireError, match="unknown binary request op"):
+            wire.decode_classify_request(b"\x7f" + good[1:])
+        response = wire.encode_classify_response(
+            1, np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64)
+        )
+        with pytest.raises(wire.WireError, match="shorter"):
+            wire.decode_classify_response(response[:4])
+        with pytest.raises(wire.WireError, match="length"):
+            wire.decode_classify_response(response[:-8])
+        with pytest.raises(wire.WireError, match="unknown binary response op"):
+            wire.decode_classify_response(b"\x7f" + response[1:])
+
+    def test_packet_block_validation(self):
+        with pytest.raises(ValueError, match="at least one packet"):
+            wire.packet_block([])
+        with pytest.raises(ValueError, match="same width"):
+            wire.packet_block([(1, 2, 3), (1, 2)])
+        with pytest.raises(ValueError, match="non-negative"):
+            wire.packet_block([(1, -2, 3)])
+        block = wire.packet_block([(1, 2, 3), (4, 5, 6)])
+        assert block.dtype == np.dtype("<u8") and block.shape == (2, 3)
+        passthrough = wire.packet_block(np.ones((3, 5), dtype=np.int64))
+        assert passthrough.dtype == np.dtype("<u8")
+
+    def test_frame_magic_disjoint_from_json_lengths(self):
+        # A v1 frame's first byte is its length's high byte; the 4 MiB cap
+        # keeps it 0x00, so 0xB2 can never be mistaken for JSON.
+        assert (wire.MAX_JSON_FRAME >> 24) == 0
+        assert wire.FRAME_MAGIC > 0
+
+
+def _tiny_engine(rules):
+    return ClassificationEngine.build(
+        RuleSet(list(rules), name="wire"), classifier="tss"
+    )
+
+
+@st.composite
+def initial_rules(draw, min_rules=2, max_rules=5):
+    ranges = draw(st.lists(RANGES, min_size=min_rules, max_size=max_rules))
+    return [Rule(r, priority=index, rule_id=index) for index, r in enumerate(ranges)]
+
+
+class TestNegotiation:
+    def test_hello_upgrades_connection(self, acl_small):
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    assert client.wire_v2
+                    packets = acl_small.sample_packets(8, seed=5)
+                    responses = await client.classify_batch(packets)
+                    assert len(responses) == 8
+                    assert all(r["matched"] for r in responses)
+                    stats = await client.stats()
+                    assert stats["server"]["wire_v2"] is True
+                    assert stats["server"]["binary_batches"] == 1
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))
+
+    def test_old_server_falls_back_to_json(self, acl_small):
+        """A client offering v2 against a server that predates it (emulated
+        by ``wire_v2=False``) must silently continue on JSON."""
+
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine, wire_v2=False) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    assert not client.wire_v2
+                    packets = acl_small.sample_packets(6, seed=6)
+                    responses = await client.classify_batch(packets)
+                    assert all(r["matched"] for r in responses)
+                    stats = await client.stats()
+                    assert stats["server"]["wire_v2"] is False
+                    assert stats["server"]["binary_batches"] == 0
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))
+
+    def test_old_client_stays_on_json(self, acl_small):
+        """A client that never sends hello (the pre-v2 behaviour) gets pure
+        JSON service from a v2 server."""
+
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port, negotiate=False
+                ) as client:
+                    assert not client.wire_v2
+                    packet = acl_small.sample_packets(1, seed=7)[0]
+                    response = await client.classify(packet)
+                    assert response["matched"]
+                    responses = await client.classify_batch(
+                        acl_small.sample_packets(5, seed=8)
+                    )
+                    assert len(responses) == 5
+                    stats = await client.stats()
+                    assert stats["server"]["binary_batches"] == 0
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))
+
+    def test_binary_bad_width_maps_to_bad_request(self, acl_small):
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    assert client.wire_v2
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.classify_batch([(1, 2, 3)])  # schema is 5-wide
+                    assert excinfo.value.code == "bad-request"
+                    # The connection survives the rejected batch.
+                    packet = acl_small.sample_packets(1, seed=9)[0]
+                    assert (await client.classify(packet))["matched"]
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))
+
+
+async def _compare_protocols(rules, batches):
+    engine = _tiny_engine(rules)
+    async with AsyncServer(engine, max_batch=4, max_delay_us=300) as server:
+        await server.start("127.0.0.1", 0)
+        async with await AsyncClient.connect(
+            server.host, server.port
+        ) as binary_client, await AsyncClient.connect(
+            server.host, server.port, negotiate=False
+        ) as json_client:
+            assert binary_client.wire_v2 and not json_client.wire_v2
+            for batch in batches:
+                binary = await binary_client.classify_batch(batch)
+                via_json = await json_client.classify_batch(batch)
+                assert binary == via_json, (
+                    f"protocols disagree on {batch}: {binary} != {via_json}"
+                )
+
+
+class TestProtocolEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rules=initial_rules(),
+        batches=st.lists(
+            st.lists(PACKETS, min_size=1, max_size=6), min_size=1, max_size=4
+        ),
+    )
+    def test_json_and_binary_responses_identical(self, rules, batches):
+        asyncio.run(
+            asyncio.wait_for(
+                _compare_protocols(rules, batches), timeout=SCENARIO_DEADLINE
+            )
+        )
