@@ -58,6 +58,7 @@ def test_flowcache_locality():
             executor="thread",
             cost_model=cost_model,
             seed=41,
+            columnar=True,
         )
         uncached = run_scenario(
             rules,
@@ -70,6 +71,7 @@ def test_flowcache_locality():
             executor="thread",
             cost_model=cost_model,
             seed=41,
+            columnar=True,
         )
         if kind == "zipf":
             hit_rates.append(cached.hit_rate)
@@ -109,6 +111,7 @@ def test_flowcache_locality():
             "cache_size": CACHE_SIZE,
             "trace_packets": num_packets,
             "batch_size": 128,
+            "columnar": True,
         },
         measured={"series": series},
         summary={

@@ -32,9 +32,9 @@ import time
 
 import numpy as np
 
-from repro.serving import ShardedEngine
+from repro.serving import CachedEngine, ShardedEngine
 from repro.simulation import evaluate_sharded
-from repro.traffic import generate_uniform_trace
+from repro.traffic import generate_uniform_trace, generate_zipf_trace
 
 from bench_helpers import (
     bench_cost_model,
@@ -60,6 +60,11 @@ MEASURED_BATCH = 512
 
 #: Core count from which the full parallel-scaling floors apply.
 FLOOR_CORES = 4
+
+#: The measured cached-columnar stack must land within this factor of the
+#: modelled single-shard throughput (the ROADMAP's "within 10x of modelled
+#: 1.2M pps" target for the zero-copy serve path).
+COLUMNAR_MODEL_GAP = 10.0
 
 
 def _measure_wall_pps(sharded, block, batch_size: int) -> float:
@@ -142,6 +147,43 @@ def test_sharded_scaling():
             )
             measured_rows.append([executor, shards, round(pps / 1e3, 2)])
 
+    # Cached-columnar single shard: the full serve stack (flow cache over the
+    # modelled engine), driven end to end through classify_block on a skewed
+    # trace.  Pass 1 warms the cache; pass 2 is the measured steady state —
+    # the number the ROADMAP compares against the modelled single-shard
+    # throughput.
+    skewed = np.array(
+        [
+            tuple(p)
+            for p in generate_zipf_trace(
+                rules, measured_packets, top3_share=95, seed=47
+            )
+        ],
+        dtype=np.uint64,
+    )
+    cache_capacity = 1 << max(12, (len(skewed) - 1).bit_length())
+    with ShardedEngine.build(
+        rules, shards=shard_counts[0], classifier=CLASSIFIER, executor="thread"
+    ) as single_shard:
+        with CachedEngine(single_shard, capacity=cache_capacity) as cached:
+            for chunk_start in range(0, len(skewed), MEASURED_BATCH):  # warm
+                cached.classify_block(
+                    skewed[chunk_start : chunk_start + MEASURED_BATCH]
+                )
+            columnar_pps = _measure_wall_pps(cached, skewed, MEASURED_BATCH)
+            columnar_hit_rate = cached.cache.stats.hit_rate
+    measured_series.append(
+        {
+            "executor": "cached-columnar",
+            "shards": shard_counts[0],
+            "throughput_pps": round(columnar_pps, 1),
+            "hit_rate": round(columnar_hit_rate, 4),
+        }
+    )
+    measured_rows.append(
+        ["cached-columnar", shard_counts[0], round(columnar_pps / 1e3, 2)]
+    )
+
     text = format_table(
         ["shards", "shard sizes", "latency ns", "modelled Mpps"],
         modelled_rows,
@@ -181,6 +223,11 @@ def test_sharded_scaling():
             "workers_base_pps": round(base_workers, 1),
             "workers_top_pps": round(top_workers, 1),
             "workers_scaling": round(top_workers / max(base_workers, 1e-9), 3),
+            "cached_columnar_pps": round(columnar_pps, 1),
+            "cached_columnar_hit_rate": round(columnar_hit_rate, 4),
+            "columnar_model_gap": round(
+                modelled_pps[0] / max(columnar_pps, 1e-9), 3
+            ),
         },
     )
 
@@ -190,6 +237,15 @@ def test_sharded_scaling():
     assert max(modelled_pps[1:]) > modelled_pps[0]
 
     if cores >= FLOOR_CORES:
+        # The zero-copy serve-path floor: the measured cached-columnar stack
+        # (flow cache over the modelled single-shard engine, warm, block in /
+        # arrays out) must land within COLUMNAR_MODEL_GAP of the modelled
+        # single-shard throughput.
+        assert columnar_pps >= modelled_pps[0] / COLUMNAR_MODEL_GAP, (
+            f"cached-columnar throughput {columnar_pps:.0f} pps is more than "
+            f"{COLUMNAR_MODEL_GAP:.0f}x below the modelled single-shard "
+            f"{modelled_pps[0]:.0f} pps"
+        )
         # The scaling-inversion fix, asserted: monotonic improvement from 1
         # to 8 shards (10% noise tolerance per step) with a 2x floor at the
         # top of the sweep.

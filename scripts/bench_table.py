@@ -72,6 +72,13 @@ def _rows_sharded_scaling(data: dict) -> list[tuple[str, str, str]]:
              f"{_fmt(summary['workers_scaling'])}x "
              f"({_fmt(summary['workers_top_pps'] / 1e3, 1)} kpps)"),
         )
+    if "cached_columnar_pps" in summary:
+        rows.append(
+            (name,
+             "cached columnar serve path, measured, warm zipf-95 single shard",
+             f"{_fmt(summary['cached_columnar_pps'] / 1e6)} Mpps "
+             f"({_fmt(summary['columnar_model_gap'], 1)}x of modelled)"),
+        )
     return rows
 
 

@@ -17,6 +17,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.rules.rule import Packet, Rule, RuleSet
 
 __all__ = [
@@ -26,8 +28,21 @@ __all__ = [
     "Classifier",
     "UpdatableClassifier",
     "STATE_FORMAT_VERSION",
+    "TRACE_FIELDS",
     "check_state_header",
+    "results_to_arrays",
 ]
+
+#: Column order of the ``(n, 5)`` int64 trace blocks used by the columnar
+#: serve path (``classify_block``'s optional ``traces`` out-array and the
+#: shard-worker result rings).  One column per :class:`LookupTrace` counter.
+TRACE_FIELDS = (
+    "index_accesses",
+    "rule_accesses",
+    "model_accesses",
+    "compute_ops",
+    "hash_ops",
+)
 
 #: Version of the serializable classifier state produced by ``to_state`` and
 #: consumed by ``from_state``.  Bump when the layout changes incompatibly.
@@ -152,6 +167,30 @@ class ClassificationResult:
         return self.rule.action if self.rule else None
 
 
+def results_to_arrays(
+    results: Sequence[ClassificationResult],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse classification results to ``(rule_ids, priorities)`` arrays.
+
+    The columnar serving contract (``classify_block``, wire protocol v2):
+    ``rule_id == -1`` and ``priority == 0`` mark a miss.  Shared by every
+    engine stack's generic ``classify_block`` fallback so the columnar and
+    object paths cannot disagree on the encoding.
+    """
+    n = len(results)
+    rule_ids = np.empty(n, dtype=np.int64)
+    priorities = np.empty(n, dtype=np.int64)
+    for row, result in enumerate(results):
+        rule = result.rule
+        if rule is None:
+            rule_ids[row] = -1
+            priorities[row] = 0
+        else:
+            rule_ids[row] = rule.rule_id
+            priorities[row] = rule.priority
+    return rule_ids, priorities
+
+
 class Classifier(ABC):
     """Abstract multi-field packet classifier.
 
@@ -163,6 +202,11 @@ class Classifier(ABC):
 
     #: Short name used in reports (e.g. ``"cs"`` for CutSplit).
     name: str = "classifier"
+
+    #: True when :meth:`classify_block` is genuinely columnar — no per-packet
+    #: :class:`ClassificationResult`/:class:`LookupTrace` objects anywhere on
+    #: the path.  The engine wrappers key object materialization off it.
+    supports_block: bool = False
 
     def __init__(self, ruleset: RuleSet):
         self.ruleset = ruleset
@@ -223,6 +267,35 @@ class Classifier(ABC):
         cost the whole batch.
         """
         return [self.classify_traced(packet) for packet in packets]
+
+    def classify_block(
+        self,
+        block: np.ndarray,
+        traces: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar lookup: ``(n, fields)`` block → ``(rule_ids, priorities)``.
+
+        The serving data plane's native shape (shared-memory worker rings,
+        wire protocol v2).  Misses encode as ``rule_id == -1`` with
+        ``priority == 0``.  ``traces``, when given, is an ``(n,
+        len(TRACE_FIELDS))`` int64 out-array whose rows are *overwritten* with
+        the per-packet lookup counters in :data:`TRACE_FIELDS` order.
+
+        Classifiers with vectorizable lookups override this with an
+        allocation-free path and set :attr:`supports_block`; the generic
+        implementation routes through :meth:`classify_batch` (block rows act
+        as packet value sequences) and collapses the per-packet results.
+        """
+        results = self.classify_batch(block)
+        if traces is not None:
+            for row, result in enumerate(results):
+                trace = result.trace
+                traces[row, 0] = trace.index_accesses
+                traces[row, 1] = trace.rule_accesses
+                traces[row, 2] = trace.model_accesses
+                traces[row, 3] = trace.compute_ops
+                traces[row, 4] = trace.hash_ops
+        return results_to_arrays(results)
 
     def classify_with_floor(
         self, packet: Packet | Sequence[int], priority_floor: Optional[int]

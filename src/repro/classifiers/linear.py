@@ -28,12 +28,18 @@ __all__ = ["LinearSearchClassifier"]
 #: fields) boolean intermediate to a few MB.
 _BATCH_CHUNK = 512
 
+#: Rules per chunk in the columnar block path: packets whose first match lands
+#: in an early chunk drop out of the scan, so the common (skewed-traffic) case
+#: never touches the tail of the rule array.
+_RULE_CHUNK = 512
+
 
 @register("linear", aliases=("linear-search",))
 class LinearSearchClassifier(Classifier):
     """Priority-ordered linear scan over the rule array."""
 
     name = "linear"
+    supports_block = True
 
     def __init__(self, ruleset: RuleSet):
         super().__init__(ruleset)
@@ -46,6 +52,12 @@ class LinearSearchClassifier(Classifier):
             num_fields = len(ruleset.schema)
             self._lo = np.empty((0, num_fields), dtype=np.int64)
             self._hi = np.empty((0, num_fields), dtype=np.int64)
+        self._priorities = np.array(
+            [rule.priority for rule in self._ordered], dtype=np.int64
+        )
+        self._rule_ids = np.array(
+            [rule.rule_id for rule in self._ordered], dtype=np.int64
+        )
 
     @classmethod
     def build(cls, ruleset: RuleSet, **params) -> "LinearSearchClassifier":
@@ -100,6 +112,67 @@ class LinearSearchClassifier(Classifier):
                 )
                 results.append(ClassificationResult(rule, trace))
         return results
+
+    def classify_block(
+        self,
+        block: np.ndarray,
+        traces: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar scan: allocation-free, bit-identical to :meth:`classify_batch`.
+
+        Rules are scanned in :data:`_RULE_CHUNK` slices; packets resolved by an
+        early chunk drop out of later ones, so trace semantics stay those of
+        the sequential first-match scan (``rule_accesses`` is the 1-based
+        position of the winning rule, or the full rule count on a miss).
+        """
+        block = np.asarray(block)
+        n = block.shape[0]
+        num_rules = len(self._ordered)
+        num_fields = self._lo.shape[1]
+        rule_ids = np.full(n, -1, dtype=np.int64)
+        priorities = np.zeros(n, dtype=np.int64)
+        if num_rules == 0 or n == 0:
+            if traces is not None:
+                traces[:n] = 0
+            return rule_ids, priorities
+        values = block.astype(np.int64, copy=False)
+        for start in range(0, n, _BATCH_CHUNK):
+            chunk = values[start : start + _BATCH_CHUNK]
+            size = len(chunk)
+            first = np.full(size, num_rules, dtype=np.int64)
+            alive = np.arange(size)
+            for rule_start in range(0, num_rules, _RULE_CHUNK):
+                sub = chunk[alive]
+                lo = self._lo[rule_start : rule_start + _RULE_CHUNK]
+                hi = self._hi[rule_start : rule_start + _RULE_CHUNK]
+                matched = np.all(
+                    (sub[:, None, :] >= lo[None, :, :])
+                    & (sub[:, None, :] <= hi[None, :, :]),
+                    axis=2,
+                )
+                any_match = matched.any(axis=1)
+                if any_match.any():
+                    resolved = alive[any_match]
+                    first[resolved] = rule_start + np.argmax(
+                        matched[any_match], axis=1
+                    )
+                    alive = alive[~any_match]
+                    if alive.size == 0:
+                        break
+            hits = first < num_rules
+            winners = first[hits]
+            out = slice(start, start + size)
+            rule_ids[out][hits] = self._rule_ids[winners]
+            priorities[out][hits] = self._priorities[winners]
+            if traces is not None:
+                scanned = np.where(hits, first + 1, np.int64(num_rules))
+                trace_chunk = traces[out]
+                trace_chunk[:, 0] = 0
+                trace_chunk[:, 1] = scanned
+                trace_chunk[:, 2] = 0
+                trace_chunk[:, 3] = scanned * num_fields
+                trace_chunk[:, 4] = 0
+        return rule_ids, priorities
 
     def classify_with_floor(
         self, packet: Packet | Sequence[int], priority_floor: Optional[int]

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.classifiers.base import (
     ClassificationResult,
     HASH_ENTRY_BYTES,
@@ -30,10 +32,15 @@ from repro.classifiers.registry import register
 from repro.classifiers.tuplespace import mask_value, rule_tuple
 from repro.rules.rule import Packet, Rule, RuleSet
 
-__all__ = ["TupleMergeClassifier"]
+__all__ = ["TupleMergeClassifier", "NO_FLOOR"]
 
 #: Default per-bucket collision limit, as recommended by the TupleMerge paper.
 DEFAULT_COLLISION_LIMIT = 40
+
+#: Per-row "no floor" sentinel for :meth:`TupleMergeClassifier.
+#: classify_block_with_floors`.  Numerically above every real rule priority,
+#: so the floor comparisons degenerate to the unfloored lookup.
+NO_FLOOR = int(np.iinfo(np.int64).max)
 
 #: Coarse IP prefix-length grids used when seeding new tables.  The first
 #: (coarser) grid is tried first so that many tuples merge into few tables;
@@ -133,6 +140,7 @@ class TupleMergeClassifier(UpdatableClassifier):
     """TupleMerge: merged tuple-space hash tables with a collision limit."""
 
     name = "tm"
+    supports_block = True
 
     def __init__(self, ruleset: RuleSet, collision_limit: int = DEFAULT_COLLISION_LIMIT):
         super().__init__(ruleset)
@@ -239,6 +247,74 @@ class TupleMergeClassifier(UpdatableClassifier):
                     best_priority = rule.priority
                     break
         return ClassificationResult(best, trace)
+
+    def classify_block(
+        self,
+        block: np.ndarray,
+        traces: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar lookup writing straight into result arrays.
+
+        Row-for-row identical to :meth:`classify_traced` (same table order,
+        same early breaks, same counters) but allocation-free: no
+        :class:`ClassificationResult`/:class:`LookupTrace` objects are built.
+        """
+        if traces is not None:
+            traces[: len(block)] = 0
+        return self.classify_block_with_floors(block, None, traces=traces)
+
+    def classify_block_with_floors(
+        self,
+        block: np.ndarray,
+        floors: Optional[np.ndarray],
+        traces: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Floored columnar lookup — the remainder half of NuevoMatch's
+        early-termination contract (§4), one floor per row.
+
+        ``floors`` is an int64 array of per-row priority floors
+        (:data:`NO_FLOOR` disables the floor for a row; ``None`` disables it
+        everywhere); a row only reports a match strictly better (numerically
+        lower) than its floor.  ``traces`` rows are *accumulated into*, not
+        overwritten — callers owning the whole lookup zero them first, while
+        NuevoMatch adds the remainder's counters on top of the iSet ones.
+        """
+        n = len(block)
+        rule_ids = np.full(n, -1, dtype=np.int64)
+        priorities = np.zeros(n, dtype=np.int64)
+        tables = self._ordered_tables()
+        for row in range(n):
+            values = tuple(int(v) for v in block[row])
+            best_priority = NO_FLOOR if floors is None else int(floors[row])
+            best_id = -1
+            index_accesses = rule_accesses = compute_ops = hash_ops = 0
+            for table in tables:
+                table_max = table.max_priority
+                if table_max is not None and table_max >= best_priority:
+                    break
+                hash_ops += 1
+                index_accesses += 1
+                bucket = table.buckets.get(table.key_for_values(values))
+                if not bucket:
+                    continue
+                for rule in bucket:
+                    if rule.priority >= best_priority:
+                        break  # bucket is priority-sorted; nothing better remains
+                    rule_accesses += 1
+                    compute_ops += len(values)
+                    if rule.matches(values):
+                        best_id = rule.rule_id
+                        best_priority = rule.priority
+                        break
+            if best_id >= 0:
+                rule_ids[row] = best_id
+                priorities[row] = best_priority
+            if traces is not None:
+                traces[row, 0] += index_accesses
+                traces[row, 1] += rule_accesses
+                traces[row, 3] += compute_ops
+                traces[row, 4] += hash_ops
+        return rule_ids, priorities
 
     # -- introspection ------------------------------------------------------------
 

@@ -76,6 +76,9 @@ class ISetIndex:
         self.model = model
         priorities = [rule.priority for rule in self.rules]
         self.best_priority = min(priorities) if priorities else None
+        # Packed (lo, hi, priority, rule_id) arrays for the columnar block
+        # path, built on first use (iSet rules are immutable after training).
+        self._packed_rules: tuple[np.ndarray, ...] | None = None
 
     @classmethod
     def train(cls, iset: ISet, schema, rqrmi_config: RQRMIConfig) -> "ISetIndex":
@@ -155,6 +158,65 @@ class ISetIndex:
             breakdown.validation_accesses += 1
             candidates.append(candidate if candidate.matches(values[row]) else None)
         return candidates
+
+    def _rule_arrays(self) -> tuple[np.ndarray, ...]:
+        if self._packed_rules is None:
+            ranges = np.array([rule.ranges for rule in self.rules], dtype=np.int64)
+            self._packed_rules = (
+                ranges[:, :, 0],
+                ranges[:, :, 1],
+                np.array([rule.priority for rule in self.rules], dtype=np.int64),
+                np.array([rule.rule_id for rule in self.rules], dtype=np.int64),
+            )
+        return self._packed_rules
+
+    def lookup_block(
+        self,
+        values: np.ndarray,
+        rule_ids: np.ndarray,
+        best_priorities: np.ndarray,
+        traces: Optional[np.ndarray] = None,
+    ) -> None:
+        """Columnar iSet lookup: update per-row winners in place.
+
+        The allocation-free counterpart of :meth:`lookup_batch`: inference and
+        candidate validation run vectorized, winners (strictly better
+        priority) are written into ``rule_ids``/``best_priorities``, and
+        ``traces`` rows — ``(n, 5)`` int64, :data:`~repro.classifiers.base.
+        TRACE_FIELDS` order — accumulate exactly the counters the per-packet
+        path records.
+        """
+        keys = values[:, self.dim]
+        indices, _predicted, bounds = self.model.query_batch_detailed(keys)
+        if traces is not None:
+            model_accesses = len(self.model.stages)
+            inference_ops = model_accesses * self.model.stages[0][0].hidden_units
+            window = 2 * bounds.astype(np.int64) + 1
+            search_lines = np.maximum(
+                1, np.ceil(np.log2(window / 16 + 1)).astype(np.int64)
+            )
+            traces[:, 0] += search_lines
+            traces[:, 2] += model_accesses
+            traces[:, 3] += inference_ops
+        rows = np.flatnonzero(indices >= 0)
+        if rows.size == 0:
+            return
+        lo, hi, priorities, ids = self._rule_arrays()
+        candidates = indices[rows].astype(np.int64)
+        if traces is not None:
+            traces[rows, 1] += 1
+            traces[rows, 3] += values.shape[1]
+        sub = values[rows]
+        matched = np.all(
+            (sub >= lo[candidates]) & (sub <= hi[candidates]), axis=1
+        )
+        matched_rows = rows[matched]
+        matched_candidates = candidates[matched]
+        candidate_priorities = priorities[matched_candidates]
+        better = candidate_priorities < best_priorities[matched_rows]
+        updated = matched_rows[better]
+        best_priorities[updated] = candidate_priorities[better]
+        rule_ids[updated] = ids[matched_candidates[better]]
 
     def value_array_bytes(self) -> int:
         """Size of the packed per-field value array used by the secondary search."""
@@ -408,6 +470,49 @@ class NuevoMatch(Classifier):
                 winner = remainder_result.rule
             results.append(ClassificationResult(winner, trace))
         return results
+
+    @property
+    def supports_block(self) -> bool:  # type: ignore[override]
+        """Columnar lookups need a remainder with a floored block path."""
+        return hasattr(self.remainder, "classify_block_with_floors")
+
+    def classify_block(
+        self,
+        block: np.ndarray,
+        traces: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar lookup: vectorized iSet queries, floored remainder scan.
+
+        Bit-identical to :meth:`classify_batch` (matches and traces) but
+        allocation-free: iSet inference, candidate validation and winner
+        selection run as array operations, and the remainder is queried
+        through its ``classify_block_with_floors`` hook with the iSet winners
+        as per-row early-termination floors (§4).  Falls back to the generic
+        object-path wrapper when the remainder classifier lacks the hook.
+        """
+        if not self.supports_block:
+            return super().classify_block(block, traces=traces)
+        from repro.classifiers.tuplemerge import NO_FLOOR
+
+        block = np.asarray(block)
+        n = block.shape[0]
+        values = block.astype(np.int64, copy=False)
+        rule_ids = np.full(n, -1, dtype=np.int64)
+        best_priorities = np.full(n, NO_FLOOR, dtype=np.int64)
+        if traces is not None:
+            traces[:n] = 0
+        for iset in self.isets:
+            iset.lookup_block(values, rule_ids, best_priorities, traces=traces)
+        floors = best_priorities if self.config.early_termination else None
+        remainder_ids, remainder_priorities = (
+            self.remainder.classify_block_with_floors(values, floors, traces=traces)
+        )
+        # Strictly-better merge, mirroring the object path's `<` comparison
+        # (with floors the remainder already guarantees it; without, not).
+        wins = (remainder_ids >= 0) & (remainder_priorities < best_priorities)
+        rule_ids[wins] = remainder_ids[wins]
+        best_priorities[wins] = remainder_priorities[wins]
+        return rule_ids, np.where(rule_ids >= 0, best_priorities, 0)
 
     def classify_isets_only(
         self, packet: Packet | Sequence[int]

@@ -19,6 +19,7 @@ from repro.engine.engine import (
     ClassificationEngine,
     results_to_arrays,
     serve_in_batches,
+    validate_block,
 )
 from repro.engine.serialization import (
     ENGINE_FILE_VERSION,
@@ -37,6 +38,7 @@ __all__ = [
     "BatchReport",
     "serve_in_batches",
     "results_to_arrays",
+    "validate_block",
     "ENGINE_FILE_VERSION",
     "SHARDED_FILE_VERSION",
     "rule_to_state",

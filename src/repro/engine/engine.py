@@ -25,11 +25,13 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.classifiers.base import (
+    TRACE_FIELDS,
     ClassificationResult,
     Classifier,
     LookupTrace,
     MemoryFootprint,
     UpdatableClassifier,
+    results_to_arrays,
 )
 from repro.classifiers.registry import resolve_classifier
 from repro.engine.serialization import (
@@ -46,31 +48,34 @@ __all__ = [
     "BatchReport",
     "serve_in_batches",
     "results_to_arrays",
+    "validate_block",
 ]
 
 
-def results_to_arrays(
-    results: Sequence[ClassificationResult],
-) -> tuple[np.ndarray, np.ndarray]:
-    """Collapse classification results to ``(rule_ids, priorities)`` arrays.
+def validate_block(block) -> np.ndarray:
+    """Validate a packet block and return it as contiguous ``(n, fields)`` uint64.
 
-    The columnar serving contract (``classify_block``, wire protocol v2):
-    ``rule_id == -1`` and ``priority == 0`` mark a miss.  Shared by every
-    engine stack's generic ``classify_block`` fallback so the columnar and
-    object paths cannot disagree on the encoding.
+    The one shared entry gate for every engine stack's ``classify_block``
+    (plain, sharded, cached), so validation — and its error messages — cannot
+    diverge between them:
+
+    * the block must be a numeric *integer* array (object/ragged and float
+      inputs are rejected, never probed),
+    * it must be 2-dimensional,
+    * field values must be non-negative (signed inputs are checked, not
+      silently wrapped into huge uint64 values).
+
+    Already-conforming uint64 arrays pass through zero-copy.
     """
-    n = len(results)
-    rule_ids = np.empty(n, dtype=np.int64)
-    priorities = np.empty(n, dtype=np.int64)
-    for row, result in enumerate(results):
-        rule = result.rule
-        if rule is None:
-            rule_ids[row] = -1
-            priorities[row] = 0
-        else:
-            rule_ids[row] = rule.rule_id
-            priorities[row] = rule.priority
-    return rule_ids, priorities
+    array = np.asarray(block)
+    if not np.issubdtype(array.dtype, np.integer):
+        raise ValueError("packet block must be an integer array")
+    if array.ndim != 2:
+        raise ValueError("packet block must be 2-dimensional")
+    if np.issubdtype(array.dtype, np.signedinteger) and array.size:
+        if int(array.min()) < 0:
+            raise ValueError("packet field values must be non-negative")
+    return np.ascontiguousarray(array, dtype=np.uint64)
 
 
 class BatchReport:
@@ -136,6 +141,7 @@ class ClassificationEngine:
         # snapshot and does not see insert/remove).
         self._inserted: dict[int, Rule] = {}
         self._removed: set[int] = set()
+        self._rules_by_id_cache: dict[int, Rule] | None = None
 
     # ------------------------------------------------------------------ build
 
@@ -211,24 +217,94 @@ class ClassificationEngine:
     def classify_batch(
         self, packets: Sequence[Packet | Sequence[int]]
     ) -> list[ClassificationResult]:
-        """Classify a batch of packets (vectorized where the classifier allows)."""
-        return self.classifier.classify_batch(packets)
+        """Classify a batch of packets (vectorized where the classifier allows).
+
+        For classifiers with a columnar path (``supports_block``) this is a
+        thin object-materializing wrapper over :meth:`classify_block`: the
+        lookup itself stays columnar and the per-packet
+        :class:`ClassificationResult`/:class:`LookupTrace` objects are built
+        only here, because this caller asked for them.
+        """
+        classifier = self.classifier
+        if not getattr(classifier, "supports_block", False):
+            return classifier.classify_batch(packets)
+        if isinstance(packets, np.ndarray) and packets.ndim == 2:
+            block = packets
+        else:
+            packet_list = list(packets)
+            if not packet_list:
+                return []
+            block = np.array(
+                [
+                    packet.values if isinstance(packet, Packet) else tuple(packet)
+                    for packet in packet_list
+                ],
+                dtype=np.int64,
+            )
+        n = len(block)
+        if n == 0:
+            return []
+        traces = np.zeros((n, len(TRACE_FIELDS)), dtype=np.int64)
+        rule_ids, _priorities = classifier.classify_block(
+            validate_block(block), traces=traces
+        )
+        by_id = self.rules_by_id()
+        results: list[ClassificationResult] = []
+        for row in range(n):
+            rule_id = int(rule_ids[row])
+            rule = None
+            if rule_id >= 0:
+                rule = by_id.get(rule_id)
+                if rule is None:  # map went stale under a direct classifier update
+                    by_id = self.rules_by_id(refresh=True)
+                    rule = by_id.get(rule_id)
+            results.append(
+                ClassificationResult(
+                    rule,
+                    LookupTrace(
+                        index_accesses=int(traces[row, 0]),
+                        rule_accesses=int(traces[row, 1]),
+                        model_accesses=int(traces[row, 2]),
+                        compute_ops=int(traces[row, 3]),
+                        hash_ops=int(traces[row, 4]),
+                    ),
+                )
+            )
+        return results
 
     def classify_block(
-        self, block: np.ndarray
+        self,
+        block: np.ndarray,
+        traces: Optional[np.ndarray] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Columnar lookup: ``(n, fields)`` uint64 block → ``(rule_ids, priorities)``.
 
         The serving data plane's native shape (shared-memory rings, wire
-        protocol v2).  Engine stacks with a vectorized path override this;
-        the generic implementation routes through :meth:`classify_batch`
-        (block rows act as packet tuples) and collapses the results with
-        :func:`results_to_arrays`.
+        protocol v2) and the primitive every other lookup surface wraps.
+        Misses encode as ``rule_id == -1`` with ``priority == 0``.  ``traces``
+        is an optional ``(n, 5)`` int64 out-array filled with per-packet
+        lookup counters (:data:`~repro.classifiers.base.TRACE_FIELDS` order).
+        Input validation is shared across all engine stacks via
+        :func:`validate_block`.  Classifiers without a columnar path fall
+        back to the object route inside
+        :meth:`Classifier.classify_block <repro.classifiers.base.Classifier.classify_block>`.
         """
-        block = np.asarray(block)
-        if block.ndim != 2:
-            raise ValueError("packet block must be 2-dimensional")
-        return results_to_arrays(self.classify_batch(block))
+        return self.classifier.classify_block(validate_block(block), traces=traces)
+
+    def rules_by_id(self, refresh: bool = False) -> dict[int, Rule]:
+        """Map ``rule_id`` → :class:`Rule` over the *effective* rules.
+
+        Used by :meth:`classify_batch` (and wrapping stacks like
+        ``CachedEngine``) to materialize Rule objects from columnar
+        ``rule_ids``.  Cached; invalidated by :meth:`insert`/:meth:`remove`.
+        """
+        if refresh or self._rules_by_id_cache is None:
+            mapping = {rule.rule_id: rule for rule in self.ruleset}
+            for rule_id in self._removed:
+                mapping.pop(rule_id, None)
+            mapping.update(self._inserted)
+            self._rules_by_id_cache = mapping
+        return self._rules_by_id_cache
 
     def serve(
         self, packets: Iterable[Packet | Sequence[int]], batch_size: int = 128
@@ -268,6 +344,7 @@ class ClassificationEngine:
         self._updatable().insert(rule)
         self._removed.discard(rule.rule_id)
         self._inserted[rule.rule_id] = rule
+        self._rules_by_id_cache = None
 
     def remove(self, rule_id: int) -> bool:
         """Remove a rule online; returns True if it was present."""
@@ -277,6 +354,7 @@ class ClassificationEngine:
                 del self._inserted[rule_id]
             else:
                 self._removed.add(rule_id)
+            self._rules_by_id_cache = None
         return removed
 
     def _effective_ruleset(self) -> RuleSet:

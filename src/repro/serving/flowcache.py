@@ -112,6 +112,18 @@ def pack_packets(
     return arr
 
 
+def _row_bytes(keys: np.ndarray) -> list[bytes]:
+    """Per-row dict keys for a contiguous key matrix, via one ``tobytes``.
+
+    One serialization of the whole matrix plus per-row slicing beats a
+    ``tobytes`` call per row, and ``bytes`` keys hash/compare faster than
+    numpy void scalars (which are unhashable on recent numpy anyway).
+    """
+    raw = keys.tobytes()
+    stride = keys.shape[1] * keys.itemsize
+    return [raw[start : start + stride] for start in range(0, len(raw), stride)]
+
+
 class FlowCache:
     """An exact-match five-tuple → classification-result LRU cache.
 
@@ -146,6 +158,7 @@ class FlowCache:
         self.stats = CacheStats()
         self._keys = np.zeros((capacity, num_fields), dtype=np.uint64)
         self._rule_ids = np.full(capacity, _NO_MATCH, dtype=np.int64)
+        self._priorities = np.zeros(capacity, dtype=np.int64)
         self._last_used = np.zeros(capacity, dtype=np.int64)
         self._occupied = np.zeros(capacity, dtype=bool)
         self._rules: list[Optional[Rule]] = [None] * capacity
@@ -192,7 +205,7 @@ class FlowCache:
         mask = np.zeros(n, dtype=bool)
         winners: list[Optional[Rule]] = [None] * n
         if row_bytes is None:
-            row_bytes = [keys[row].tobytes() for row in range(n)]
+            row_bytes = _row_bytes(keys)
         with self._lock:
             if not self._index:
                 self.stats.misses += n
@@ -211,6 +224,87 @@ class FlowCache:
             self.stats.hits += len(hit_slots)
             self.stats.misses += n - len(hit_slots)
         return winners, mask
+
+    def probe_block(
+        self, keys: np.ndarray, row_bytes: Sequence[bytes] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar probe: ``(rule_ids, priorities, hit_mask)``, no objects.
+
+        ``rule_ids``/``priorities`` are int64 ``(n,)`` in the one columnar
+        miss encoding (``-1``/``0``); a *cached no-match* is a hit row with
+        ``rule_id == -1`` — the mask is what separates it from a cold miss.
+        LRU clocks and hit/miss stats advance exactly as in
+        :meth:`probe_batch`.
+        """
+        n = len(keys)
+        rule_ids = np.full(n, _NO_MATCH, dtype=np.int64)
+        priorities = np.zeros(n, dtype=np.int64)
+        mask = np.zeros(n, dtype=bool)
+        if row_bytes is None:
+            row_bytes = _row_bytes(keys)
+        with self._lock:
+            if not self._index:
+                self.stats.misses += n
+                return rule_ids, priorities, mask
+            hit_rows: list[int] = []
+            hit_slots: list[int] = []
+            index = self._index
+            for row in range(n):
+                slot = index.get(row_bytes[row])
+                if slot is not None:
+                    hit_rows.append(row)
+                    hit_slots.append(slot)
+            if hit_slots:
+                self._clock += 1
+                self._last_used[hit_slots] = self._clock
+                rule_ids[hit_rows] = self._rule_ids[hit_slots]
+                priorities[hit_rows] = self._priorities[hit_slots]
+                mask[hit_rows] = True
+            self.stats.hits += len(hit_slots)
+            self.stats.misses += n - len(hit_slots)
+        return rule_ids, priorities, mask
+
+    def fill_block(
+        self,
+        keys: np.ndarray,
+        rule_ids: np.ndarray,
+        rules_by_id: dict[int, Rule],
+        epoch: int | None = None,
+        row_bytes: Sequence[bytes] | None = None,
+    ) -> None:
+        """Columnar fill: cache ``(key row, rule_id)`` pairs from a block.
+
+        Winners resolve through ``rules_by_id`` so object-path probes keep
+        returning real :class:`Rule` instances; a row whose id no longer
+        resolves (the rule was removed while the results were in flight) is
+        skipped rather than cached as a spurious no-match.  ``rule_id == -1``
+        rows cache as no-match entries.  Eviction, dedup and the ``epoch``
+        fence match :meth:`fill_batch`.
+        """
+        if self.capacity == 0 or not len(keys):
+            return
+        resolvable = np.ones(len(keys), dtype=bool)
+        winners: list[Optional[Rule]] = []
+        for row, rule_id in enumerate(rule_ids):
+            rule_id = int(rule_id)
+            if rule_id < 0:
+                winners.append(None)
+                continue
+            rule = rules_by_id.get(rule_id)
+            if rule is None:
+                resolvable[row] = False
+            else:
+                winners.append(rule)
+        if not resolvable.all():
+            keys = keys[resolvable]
+            row_bytes = (
+                None
+                if row_bytes is None
+                else [
+                    row_bytes[row] for row in np.flatnonzero(resolvable)
+                ]
+            )
+        self.fill_batch(keys, winners, epoch=epoch, row_bytes=row_bytes)
 
     def fill_batch(
         self,
@@ -235,7 +329,7 @@ class FlowCache:
         if self.capacity == 0 or not len(keys):
             return
         if row_bytes is None:
-            row_bytes = [row.tobytes() for row in keys]
+            row_bytes = _row_bytes(keys)
         with self._lock:
             if epoch is not None and epoch != self._epoch:
                 self.stats.dropped_fills += 1
@@ -264,7 +358,12 @@ class FlowCache:
         refresh: bool,
     ) -> None:
         self._keys[slot] = row
-        self._rule_ids[slot] = winner.rule_id if winner is not None else _NO_MATCH
+        if winner is not None:
+            self._rule_ids[slot] = winner.rule_id
+            self._priorities[slot] = winner.priority
+        else:
+            self._rule_ids[slot] = _NO_MATCH
+            self._priorities[slot] = 0
         self._rules[slot] = winner
         self._slot_keys[slot] = key
         self._occupied[slot] = True
@@ -296,6 +395,7 @@ class FlowCache:
         self._slot_keys[slot] = None
         self._rules[slot] = None
         self._rule_ids[slot] = _NO_MATCH
+        self._priorities[slot] = 0
         self._occupied[slot] = False
         self._free.append(slot)
 
@@ -357,12 +457,13 @@ class FlowCache:
     def footprint_bytes(self) -> int:
         """Size of the cache structures, for cache-hierarchy placement.
 
-        Key matrix + winner ids + LRU clocks + one pointer per slot, plus a
-        fixed table overhead — the quantity the replay harness feeds to
+        Key matrix + winner ids + winner priorities + LRU clocks + one
+        pointer per slot, plus a fixed table overhead — the quantity the
+        replay harness feeds to
         :meth:`repro.simulation.CacheHierarchy.access_latency_ns` to price a
         hit.
         """
-        per_entry = self.num_fields * 8 + 8 + 8 + POINTER_BYTES
+        per_entry = self.num_fields * 8 + 8 + 8 + 8 + POINTER_BYTES
         return HASH_TABLE_OVERHEAD + self.capacity * per_entry
 
     def statistics(self) -> dict[str, object]:
@@ -404,14 +505,41 @@ class CachedEngine:
     eviction-before-ack ordering inline.
     """
 
+    #: The columnar contract holds whenever the wrapped engine serves blocks
+    #: (both :class:`~repro.engine.ClassificationEngine` and
+    #: :class:`~repro.serving.ShardedEngine` do).
+    supports_block = True
+
     def __init__(self, engine, capacity: int = DEFAULT_CACHE_CAPACITY):
         self.engine = engine
         self._num_fields = len(engine.ruleset.schema)
         self.cache = FlowCache(capacity, self._num_fields)
         self._queue = getattr(engine, "updates", None)
-        self._listener = self.cache.handle_update
+        self._listener = self._on_update
+        self._rules_by_id: dict[int, Rule] | None = None
         if self._queue is not None:
             self._queue.add_listener(self._listener)
+
+    def _on_update(self, op: str, payload) -> None:
+        """Update listener: evict stale cache entries and drop the id map."""
+        self._rules_by_id = None
+        self.cache.handle_update(op, payload)
+
+    def _rules_map(self, refresh: bool = False) -> dict[int, Rule]:
+        """``rule_id -> Rule`` over the wrapped engine's live rules.
+
+        Delegates to the engine's own per-generation cache when it has one;
+        otherwise built from ``engine.ruleset`` and invalidated whenever an
+        update lands (listener or inline).
+        """
+        getter = getattr(self.engine, "rules_by_id", None)
+        if getter is not None:
+            return getter(refresh=refresh)
+        if refresh or self._rules_by_id is None:
+            self._rules_by_id = {
+                rule.rule_id: rule for rule in self.engine.ruleset
+            }
+        return self._rules_by_id
 
     # ------------------------------------------------------------------ serve
 
@@ -427,7 +555,7 @@ class CachedEngine:
             return []
         keys = pack_packets(packet_list, self._num_fields)
         # Rows are serialized once and reused for probe, miss dedup and fill.
-        row_bytes = [keys[row].tobytes() for row in range(len(packet_list))]
+        row_bytes = _row_bytes(keys)
         winners, hit_mask = self.cache.probe_batch(keys, row_bytes=row_bytes)
         results: list[Optional[ClassificationResult]] = [None] * len(packet_list)
         for row in np.flatnonzero(hit_mask):
@@ -469,21 +597,89 @@ class CachedEngine:
             )
         return results  # type: ignore[return-value]
 
-    def classify_block(self, block) -> tuple:
-        """Columnar lookup through the cache (see
-        :meth:`repro.engine.ClassificationEngine.classify_block`).
+    def classify_block(
+        self, block, traces: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar lookup through the cache: probe → classify misses → fill.
 
-        Routed through :meth:`classify_batch` so probe/fill/invalidation
-        semantics are identical on the columnar path.
+        The validated block *is* the cache's key matrix, so the hot path is
+        one ``tobytes`` plus dict probes — no :class:`Packet`,
+        :class:`~repro.classifiers.base.ClassificationResult` or
+        :class:`~repro.classifiers.base.LookupTrace` objects are created.
+        Distinct missed flows classify once through the wrapped engine's
+        ``classify_block``; in-batch duplicates copy the first occurrence's
+        columnar result.  Probe/fill/invalidation semantics (LRU clocks,
+        stats, the epoch fence) are identical to :meth:`classify_batch`.
+        Misses carry ``rule_id == -1`` and ``priority == 0``; ``traces``
+        rows are the hit trace (one hash + one index access) for cache and
+        in-batch duplicate hits, the wrapped engine's trace otherwise.
         """
-        import numpy as np
+        from repro.engine.engine import validate_block
 
-        from repro.engine.engine import results_to_arrays
-
-        block = np.asarray(block)
-        if block.ndim != 2:
-            raise ValueError("packet block must be 2-dimensional")
-        return results_to_arrays(self.classify_batch(block))
+        block = validate_block(block)
+        n = block.shape[0]
+        if traces is not None:
+            traces[:n] = 0
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        row_bytes = _row_bytes(block)
+        rule_ids, priorities, hit_mask = self.cache.probe_block(
+            block, row_bytes=row_bytes
+        )
+        if traces is not None:
+            traces[hit_mask, 0] = 1
+            traces[hit_mask, 4] = 1
+        miss_rows = np.flatnonzero(~hit_mask)
+        if miss_rows.size:
+            # Classify each distinct missed flow once (as in classify_batch).
+            first_row: dict[bytes, int] = {}
+            for row in miss_rows:
+                first_row.setdefault(row_bytes[row], int(row))
+            unique_rows = np.array(sorted(first_row.values()), dtype=np.int64)
+            epoch = self.cache.epoch
+            sub_block = block[unique_rows]
+            sub_traces = (
+                np.zeros((len(unique_rows), traces.shape[1]), dtype=np.int64)
+                if traces is not None
+                else None
+            )
+            sub_ids, sub_pris = self.engine.classify_block(
+                sub_block, traces=sub_traces
+            )
+            rule_ids[unique_rows] = sub_ids
+            priorities[unique_rows] = sub_pris
+            if traces is not None:
+                traces[unique_rows] = sub_traces
+            if len(unique_rows) < miss_rows.size:
+                # In-batch duplicates of a missed flow resolve from the batch
+                # dedup and carry the hit trace, mirroring classify_batch.
+                src = np.array(
+                    [first_row[row_bytes[row]] for row in miss_rows],
+                    dtype=np.int64,
+                )
+                dup = src != miss_rows
+                dup_rows = miss_rows[dup]
+                rule_ids[dup_rows] = rule_ids[src[dup]]
+                priorities[dup_rows] = priorities[src[dup]]
+                if traces is not None:
+                    traces[dup_rows] = 0
+                    traces[dup_rows, 0] = 1
+                    traces[dup_rows, 4] = 1
+            rules = self._rules_map()
+            if any(int(rule_id) >= 0 and int(rule_id) not in rules
+                   for rule_id in sub_ids):
+                rules = self._rules_map(refresh=True)
+            self.cache.fill_block(
+                sub_block,
+                sub_ids,
+                rules,
+                epoch=epoch,
+                row_bytes=[row_bytes[row] for row in unique_rows],
+            )
+        return rule_ids, priorities
 
     def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
         return self.classify_batch([packet])[0]
@@ -508,12 +704,14 @@ class CachedEngine:
         """Insert a rule; stale cache entries are evicted before this returns."""
         self.engine.insert(rule)
         if getattr(self.engine, "updates", None) is None:
+            self._rules_by_id = None
             self.cache.invalidate_insert(rule)
 
     def remove(self, rule_id: int) -> bool:
         """Remove a rule; stale cache entries are evicted before this returns."""
         removed = self.engine.remove(rule_id)
         if removed and getattr(self.engine, "updates", None) is None:
+            self._rules_by_id = None
             self.cache.invalidate_remove(rule_id)
         return removed
 

@@ -825,7 +825,31 @@ class AsyncClient:
     async def _classify_block(
         self, block: np.ndarray
     ) -> tuple[int, np.ndarray, np.ndarray]:
-        """Send one binary classify-batch frame; await its matched response."""
+        """Classify a block over binary frames; awaits the matched response.
+
+        A batch too large for one 24-bit frame is chunked into several
+        pipelined frames and the results concatenated in order — the
+        connection never sees an oversized frame.  If any chunk fails, its
+        status is returned (with empty arrays) and the successful chunks'
+        results are discarded.
+        """
+        max_rows = wire.max_block_rows(block.shape[1])
+        if len(block) > max_rows:
+            parts = await asyncio.gather(
+                *(
+                    self._classify_block(block[start : start + max_rows])
+                    for start in range(0, len(block), max_rows)
+                )
+            )
+            for status, _rule_ids, _priorities in parts:
+                if status != wire.STATUS_OK:
+                    empty = np.empty(0, dtype=np.int64)
+                    return status, empty, empty
+            return (
+                wire.STATUS_OK,
+                np.concatenate([part[1] for part in parts]),
+                np.concatenate([part[2] for part in parts]),
+            )
         if self._closed:
             raise RuntimeError("client is closed")
         request_id = self._next_id
@@ -835,10 +859,17 @@ class AsyncClient:
         if self._reader_task.done():
             self._binary_pending.pop(request_id, None)
             raise ConnectionError("connection closed by server")
-        wire.write_binary_frame(
-            self._writer, wire.encode_classify_request(request_id, block)
-        )
-        await self._writer.drain()
+        try:
+            wire.write_binary_frame(
+                self._writer, wire.encode_classify_request(request_id, block)
+            )
+            await self._writer.drain()
+        except BaseException:
+            # A failed write means no response will ever match this id —
+            # drop the pending entry so it cannot leak (or swallow a future
+            # response to a reused id).
+            self._binary_pending.pop(request_id, None)
+            raise
         return await future
 
     async def insert(self, rule: Rule) -> dict:

@@ -43,13 +43,19 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.classifiers.base import (
+    TRACE_FIELDS,
     ClassificationResult,
     LookupTrace,
     MemoryFootprint,
 )
 from repro.core.nuevomatch import NuevoMatch
 from repro.core.pipeline import TrainingPipeline
-from repro.engine.engine import BatchReport, ClassificationEngine, serve_in_batches
+from repro.engine.engine import (
+    BatchReport,
+    ClassificationEngine,
+    serve_in_batches,
+    validate_block,
+)
 from repro.engine.serialization import (
     SHARDED_FILE_VERSION,
     read_document,
@@ -60,12 +66,7 @@ from repro.engine.serialization import (
 from repro.rules.rule import Packet, Rule, RuleSet
 from repro.serving.partitioning import PARTITIONERS, partition_for_shards
 from repro.serving.updates import DEFAULT_RETRAIN_THRESHOLD, UpdateQueue
-from repro.serving.workers import (
-    MISS_PRIORITY,
-    TRACE_FIELDS,
-    ShardWorkerRuntime,
-    WorkerCrashed,
-)
+from repro.serving.workers import ShardWorkerRuntime, WorkerCrashed
 
 __all__ = ["EXECUTORS", "ShardedEngine"]
 
@@ -74,6 +75,30 @@ EXECUTORS = ("thread", "process", "workers", "serial")
 
 #: ``kind`` discriminator stored in sharded snapshot documents.
 _SHARDED_KIND = "sharded-engine"
+
+
+def _rules_to_arrays(
+    rules: Sequence[Rule], num_fields: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(los, his, priorities, rule_ids)`` for ``rules``, best-first.
+
+    Rows are sorted by ``(priority, rule_id)`` so a first-containment scan
+    (``argmax`` over a boolean matrix) yields the best match directly — the
+    columnar overlay/rescan paths lean on that ordering.
+    """
+    ordered = sorted(rules, key=lambda rule: (rule.priority, rule.rule_id))
+    count = len(ordered)
+    los = np.empty((count, num_fields), dtype=np.int64)
+    his = np.empty((count, num_fields), dtype=np.int64)
+    priorities = np.empty(count, dtype=np.int64)
+    rule_ids = np.empty(count, dtype=np.int64)
+    for row, rule in enumerate(ordered):
+        for dim, (lo, hi) in enumerate(rule.ranges):
+            los[row, dim] = lo
+            his[row, dim] = hi
+        priorities[row] = rule.priority
+        rule_ids[row] = rule.rule_id
+    return los, his, priorities, rule_ids
 
 
 class _Shard:
@@ -102,6 +127,8 @@ class _Shard:
         self._base_ids_generation = -1
         self._by_id: dict[int, Rule] = {}
         self._by_id_generation = -1
+        self._rule_arrays: tuple | None = None
+        self._rule_arrays_generation = -1
 
     # ------------------------------------------------------------- live view
 
@@ -130,6 +157,23 @@ class _Shard:
                     self._by_id_generation = self.generation
                 return self._by_id
         return {rule.rule_id: rule for rule in engine.ruleset}
+
+    def rule_arrays(
+        self, engine: ClassificationEngine
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Best-first ``(los, his, priorities, rule_ids)`` over ``engine``'s
+        built rules, cached per generation (ad hoc for a stale snapshot
+        engine, as in :meth:`rules_by_id`)."""
+        num_fields = len(engine.ruleset.schema)
+        with self.lock:
+            if engine is self.engine:
+                if self._rule_arrays_generation != self.generation:
+                    self._rule_arrays = _rules_to_arrays(
+                        list(self.engine.ruleset), num_fields
+                    )
+                    self._rule_arrays_generation = self.generation
+                return self._rule_arrays
+        return _rules_to_arrays(list(engine.ruleset), num_fields)
 
     def live_ids(self) -> set[int]:
         with self.lock:
@@ -286,6 +330,82 @@ class _Shard:
             adjusted.append(ClassificationResult(winner, trace))
         return adjusted
 
+    def adjust_block(
+        self,
+        engine: ClassificationEngine,
+        overlay: list[Rule],
+        removed: frozenset,
+        values: np.ndarray,
+        rule_ids: np.ndarray,
+        priorities: np.ndarray,
+        traces: np.ndarray | None = None,
+    ) -> None:
+        """Columnar twin of :meth:`adjust`: apply the overlay in place.
+
+        ``values`` is the int64 packet block; ``rule_ids``/``priorities`` are
+        the shard's base columnar results and are rewritten in place.  The
+        winner/trace semantics are bit-identical to :meth:`adjust` — the
+        differential conformance tests hold the two paths together.
+        """
+        if not overlay and not removed:
+            return
+        num_fields = values.shape[1]
+        if removed:
+            removed_ids = np.fromiter(
+                removed, dtype=np.int64, count=len(removed)
+            )
+            affected = np.flatnonzero(np.isin(rule_ids, removed_ids))
+            if affected.size:
+                # The built structure returned masked rules: rescan the live
+                # base rules for the runner-up, vectorized over the (rare)
+                # affected rows.  Trace cost mirrors the object path: every
+                # live base rule is scanned.
+                los, his, base_pris, base_ids = self.rule_arrays(engine)
+                live = ~np.isin(base_ids, removed_ids)
+                scanned = int(live.sum())
+                rows = values[affected]
+                contained = (
+                    (rows[:, None, :] >= los[None, :, :])
+                    & (rows[:, None, :] <= his[None, :, :])
+                ).all(axis=2) & live[None, :]
+                hit = contained.any(axis=1)
+                first = np.where(hit, contained.argmax(axis=1), 0)
+                rule_ids[affected] = np.where(hit, base_ids[first], -1)
+                priorities[affected] = np.where(hit, base_pris[first], 0)
+                if traces is not None:
+                    traces[affected, 1] += scanned
+                    traces[affected, 3] += scanned * num_fields
+        if overlay:
+            count = len(overlay)
+            o_los, o_his, o_pris, o_ids = _rules_to_arrays(
+                overlay, num_fields
+            )
+            # Object path probes overlay rules best-first until the current
+            # winner strictly beats the next rule; with the overlay sorted
+            # ascending that cutoff is the first "beaten" column.
+            has_winner = rule_ids >= 0
+            beaten = has_winner[:, None] & (
+                (priorities[:, None] < o_pris[None, :])
+                | (
+                    (priorities[:, None] == o_pris[None, :])
+                    & (rule_ids[:, None] < o_ids[None, :])
+                )
+            )
+            stop = np.where(beaten.any(axis=1), beaten.argmax(axis=1), count)
+            match = (
+                (values[:, None, :] >= o_los[None, :, :])
+                & (values[:, None, :] <= o_his[None, :, :])
+            ).all(axis=2)
+            eligible = match & (np.arange(count)[None, :] < stop[:, None])
+            hit = eligible.any(axis=1)
+            first = np.where(hit, eligible.argmax(axis=1), 0)
+            if traces is not None:
+                probed = np.where(hit, first + 1, stop)
+                traces[:, 1] += probed
+                traces[:, 3] += probed * num_fields
+            rule_ids[hit] = o_ids[first[hit]]
+            priorities[hit] = o_pris[first[hit]]
+
     def statistics(self) -> dict[str, object]:
         with self.lock:
             return {
@@ -355,6 +475,21 @@ def _process_worker_classify(index: int, packets: list) -> list[ClassificationRe
     return _WORKER_ENGINES[index].classify_batch(packets)
 
 
+def _process_worker_classify_block(
+    index: int, block: np.ndarray, want_traces: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    assert _WORKER_ENGINES is not None, "process pool initializer did not run"
+    traces = (
+        np.zeros((block.shape[0], len(TRACE_FIELDS)), dtype=np.int64)
+        if want_traces
+        else None
+    )
+    rule_ids, priorities = _WORKER_ENGINES[index].classify_block(
+        block, traces=traces
+    )
+    return rule_ids, priorities, traces
+
+
 class ShardedEngine:
     """N per-shard engines serving as one classifier, with online updates.
 
@@ -418,6 +553,8 @@ class ShardedEngine:
         self._worker_runtime: ShardWorkerRuntime | None = None
         self._worker_generations: list[int] | None = None
         self._pool_lock = threading.Lock()
+        self._rules_map: dict[int, Rule] | None = None
+        self._rules_map_key: tuple | None = None
 
     def _rebuild_shard(self, shard: _Shard) -> tuple[ClassificationEngine, int]:
         """The UpdateQueue rebuild hook: warm-start through the pipeline."""
@@ -483,6 +620,9 @@ class ShardedEngine:
         )
 
     # ------------------------------------------------------------------ serve
+
+    #: The columnar contract holds on every executor (see :meth:`classify_block`).
+    supports_block = True
 
     @property
     def num_shards(self) -> int:
@@ -568,40 +708,134 @@ class ShardedEngine:
         return merged
 
     def classify_block(
-        self, block: np.ndarray
+        self, block: np.ndarray, traces: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Columnar fast path: ``(n, fields)`` block → ``(rule_ids, priorities)``.
 
-        With ``executor="workers"`` and no pending update overlay the block
-        travels straight through the shared-memory rings and the per-shard
-        winners merge vectorized — no per-packet Python objects anywhere.
-        Otherwise falls back to :meth:`classify_batch` (overlay semantics
-        preserved).  Misses carry ``rule_id == -1`` and ``priority == 0``.
+        The block fans out columnar to every shard (shared-memory rings for
+        ``executor="workers"``, per-shard ``classify_block`` otherwise), the
+        update overlay applies vectorized (:meth:`_Shard.adjust_block`), and
+        the per-shard winners merge rule-id-aware — no per-packet Python
+        objects on any executor, with or without pending updates.  Misses
+        carry ``rule_id == -1`` and ``priority == 0``; ``traces`` (optional
+        ``(n, 5)`` int64, :data:`~repro.classifiers.base.TRACE_FIELDS` order)
+        is overwritten with the element-wise sum of the shard traces, exactly
+        like :meth:`classify_batch`'s aggregated trace.
         """
-        block = np.ascontiguousarray(np.asarray(block, dtype=np.uint64))
-        if block.ndim != 2:
-            raise ValueError("packet block must be 2-dimensional")
-        if self._executor_kind == "workers" and len(block) > 0:
-            snapshots = [shard.snapshot() for shard in self._shards]
-            if all(
-                not overlay and not removed
-                for _engine, overlay, removed in snapshots
-            ):
-                outputs = self._runtime_classify(block)
-                rule_ids, priorities, _traces = outputs[0]
-                rule_ids = rule_ids.copy()
-                priorities = priorities.copy()
-                for other_ids, other_pris, _traces in outputs[1:]:
-                    better = (other_pris < priorities) | (
-                        (other_pris == priorities) & (other_ids < rule_ids)
-                    )
-                    np.copyto(rule_ids, other_ids, where=better)
-                    np.copyto(priorities, other_pris, where=better)
-                priorities[rule_ids < 0] = 0
-                return rule_ids, priorities
-        from repro.engine.engine import results_to_arrays
+        block = validate_block(block)
+        n = block.shape[0]
+        rule_ids = np.full(n, -1, dtype=np.int64)
+        priorities = np.zeros(n, dtype=np.int64)
+        if traces is not None:
+            traces[:n] = 0
+        if n == 0:
+            return rule_ids, priorities
+        if self._executor_kind == "workers":
+            # Sync the runtime before snapshotting so workers serve the same
+            # generation the snapshots describe.
+            self._ensure_worker_runtime()
+        snapshots = [shard.snapshot() for shard in self._shards]
+        outputs = self._fan_out_block(block, snapshots, traces is not None)
+        values: np.ndarray | None = None
+        if any(overlay or removed for _engine, overlay, removed in snapshots):
+            values = block.astype(np.int64, copy=False)
+        first = True
+        for shard, (engine, overlay, removed), (ids, pris, shard_traces) in zip(
+            self._shards, snapshots, outputs
+        ):
+            if values is not None:
+                shard.adjust_block(
+                    engine, overlay, removed, values, ids, pris,
+                    traces=shard_traces,
+                )
+            if traces is not None:
+                traces[:n] += shard_traces
+            if first:
+                rule_ids[:] = ids
+                priorities[:] = pris
+                first = False
+            else:
+                better = (ids >= 0) & (
+                    (rule_ids < 0)
+                    | (pris < priorities)
+                    | ((pris == priorities) & (ids < rule_ids))
+                )
+                np.copyto(rule_ids, ids, where=better)
+                np.copyto(priorities, pris, where=better)
+        return rule_ids, priorities
 
-        return results_to_arrays(self.classify_batch(block))
+    def _fan_out_block(
+        self, block: np.ndarray, snapshots: list, want_traces: bool
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+        """Columnar fan-out: one ``(rule_ids, priorities, traces)`` per shard.
+
+        ``traces`` is always populated on the workers path (the rings carry
+        it); on the other executors it is ``None`` unless ``want_traces`` —
+        skipping the per-shard trace arrays is what keeps the no-trace serve
+        path allocation-free.
+        """
+        engines = [engine for engine, _overlay, _removed in snapshots]
+        if self._executor_kind == "workers":
+            return self._runtime_classify(block)
+        if self._executor_kind == "serial" or len(engines) == 1:
+            outputs = []
+            for engine in engines:
+                shard_traces = (
+                    np.zeros((block.shape[0], len(TRACE_FIELDS)), dtype=np.int64)
+                    if want_traces
+                    else None
+                )
+                ids, pris = engine.classify_block(block, traces=shard_traces)
+                outputs.append((ids, pris, shard_traces))
+            return outputs
+        if self._executor_kind == "thread":
+
+            def run(engine: ClassificationEngine):
+                shard_traces = (
+                    np.zeros((block.shape[0], len(TRACE_FIELDS)), dtype=np.int64)
+                    if want_traces
+                    else None
+                )
+                ids, pris = engine.classify_block(block, traces=shard_traces)
+                return ids, pris, shard_traces
+
+            pool = self._ensure_thread_pool()
+            futures = [pool.submit(run, engine) for engine in engines]
+            return [future.result() for future in futures]
+        pool = self._ensure_process_pool()
+        futures = [
+            pool.submit(_process_worker_classify_block, index, block, want_traces)
+            for index in range(len(self._shards))
+        ]
+        return [future.result() for future in futures]
+
+    def rules_by_id(self, refresh: bool = False) -> dict[int, Rule]:
+        """``rule_id -> Rule`` over the live rules of every shard.
+
+        Cached against each shard's ``(generation, update_seq)`` pair so
+        object-materializing callers (``FlowCache`` fills, the engine-style
+        batch wrapper) resolve columnar ids without rebuilding the map per
+        batch.
+        """
+        key = tuple(
+            (shard.generation, shard.update_seq) for shard in self._shards
+        )
+        if refresh or self._rules_map is None or self._rules_map_key != key:
+            mapping: dict[int, Rule] = {}
+            for shard in self._shards:
+                # Original Rule objects, not live_ruleset(): RuleSet
+                # normalization rewrites negative priorities, and the overlay
+                # serves inserted rules exactly as given.
+                with shard.lock:
+                    removed = shard.removed
+                    for rule in shard.engine.ruleset:
+                        if rule.rule_id not in removed:
+                            mapping[rule.rule_id] = rule
+                    for _seq, rule in shard.inserted.values():
+                        mapping[rule.rule_id] = rule
+            self._rules_map = mapping
+            self._rules_map_key = key
+        return self._rules_map
 
     def classify_traced(self, packet: Packet | Sequence[int]) -> ClassificationResult:
         return self.classify_batch([packet])[0]

@@ -73,6 +73,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_CODES",
     "WireError",
+    "max_block_rows",
     "packet_block",
     "encode_classify_request",
     "decode_classify_request",
@@ -143,6 +144,27 @@ def packet_block(packets: Sequence) -> np.ndarray:
     if any(value < 0 for row in rows for value in row):
         raise ValueError("packet field values must be non-negative")
     return np.array(rows, dtype=_PACKET_DTYPE)
+
+
+def max_block_rows(fields: int) -> int:
+    """Largest packet-block row count one v2 classify frame can carry.
+
+    The 24-bit frame length bounds ``header + count * fields * 8``; clients
+    chunk larger batches into several frames (response records are 16 bytes
+    per row ≤ the request's ``fields * 8`` only when ``fields >= 2``, but the
+    response header is smaller, so the request side is the binding cap for
+    every schema with at least two fields — single-field schemas are bounded
+    by the response and handled conservatively here).
+    """
+    if fields < 1:
+        raise ValueError("packet block must have at least one field")
+    request_rows = (MAX_BINARY_FRAME - _REQ_HEADER.size) // (
+        fields * _PACKET_DTYPE.itemsize
+    )
+    response_rows = (MAX_BINARY_FRAME - _RES_HEADER.size) // (
+        2 * _RESULT_DTYPE.itemsize
+    )
+    return min(request_rows, response_rows)
 
 
 def encode_classify_request(request_id: int, block: np.ndarray) -> bytes:

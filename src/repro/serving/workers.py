@@ -48,6 +48,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.classifiers.base import TRACE_FIELDS
+
 __all__ = [
     "DEFAULT_SLOT_PACKETS",
     "DEFAULT_SLOTS",
@@ -68,20 +70,6 @@ DEFAULT_SLOTS = 4
 #: Element type of the columnar packet block (covers 32-bit header fields
 #: with headroom for wide synthetic schemas).
 PACKET_DTYPE = np.uint64
-
-#: Per-packet trace counters carried back through the result ring, in
-#: :class:`~repro.classifiers.base.LookupTrace` field order.
-TRACE_FIELDS = (
-    "index_accesses",
-    "rule_accesses",
-    "model_accesses",
-    "compute_ops",
-    "hash_ops",
-)
-
-#: Priority sentinel for "no match" rows inside merge kernels (far above any
-#: real rule priority, far below ``int64`` overflow under comparison).
-MISS_PRIORITY = np.int64(1) << np.int64(62)
 
 # Control-block word indices (a small uint64 array per shard).
 _CTRL_GENERATION = 0   # parent: currently published snapshot generation
@@ -243,25 +231,18 @@ def _worker_main(
             count = int(views.req_meta[slot, _META_COUNT])
             status = _STATUS_OK
             try:
-                block = views.req_block[slot, :count].astype(np.int64)
-                results = engine.classify_batch(block)
-                rule_ids = views.res_rule[slot]
-                priorities = views.res_priority[slot]
+                # Columnar end to end: the ring slot's block goes straight
+                # into the engine's classify_block and the result arrays are
+                # written in place into the result ring — no per-packet
+                # objects on the worker side.  Misses come back per the
+                # shared contract: rule_id == -1, priority == 0.
+                block = views.req_block[slot, :count]
                 trace_out = views.res_trace[slot]
-                for row, result in enumerate(results):
-                    rule = result.rule
-                    if rule is None:
-                        rule_ids[row] = -1
-                        priorities[row] = MISS_PRIORITY
-                    else:
-                        rule_ids[row] = rule.rule_id
-                        priorities[row] = rule.priority
-                    trace = result.trace
-                    trace_out[row, 0] = trace.index_accesses
-                    trace_out[row, 1] = trace.rule_accesses
-                    trace_out[row, 2] = trace.model_accesses
-                    trace_out[row, 3] = trace.compute_ops
-                    trace_out[row, 4] = trace.hash_ops
+                rule_ids, priorities = engine.classify_block(
+                    block, traces=trace_out[:count]
+                )
+                views.res_rule[slot, :count] = rule_ids
+                views.res_priority[slot, :count] = priorities
             except Exception:  # noqa: BLE001 - reported through the ring
                 import traceback
 
@@ -455,8 +436,9 @@ class ShardWorkerRuntime:
         Returns:
             One ``(rule_ids, priorities, traces)`` triple per shard:
             ``rule_ids`` int64 ``(n,)`` with ``-1`` for a miss, ``priorities``
-            int64 ``(n,)`` with :data:`MISS_PRIORITY` for a miss, ``traces``
-            int64 ``(n, 5)`` in :data:`TRACE_FIELDS` order.
+            int64 ``(n,)`` with ``0`` for a miss (the one miss-encoding
+            contract shared by every columnar path), ``traces`` int64
+            ``(n, 5)`` in :data:`TRACE_FIELDS` order.
         """
         block = np.ascontiguousarray(np.asarray(block), dtype=PACKET_DTYPE)
         if block.ndim != 2:

@@ -127,7 +127,7 @@ async def _drive_connection(
             latencies_us.append((time.monotonic() - scheduled) * 1e6)
             inflight.release()
 
-    async def _many(group: list[tuple[int, ...]], scheduled: float) -> None:
+    async def _many(group: np.ndarray, scheduled: float) -> None:
         try:
             responses = await client.classify_batch(group)
             counters["matched"] += sum(1 for r in responses if r["matched"])
@@ -151,8 +151,12 @@ async def _drive_connection(
             send = _one
             unit_schedule = schedule
         else:
+            # Batches ride as slices of one columnar block: the client's v2
+            # encoder maps contiguous uint64 rows straight into the frame, so
+            # no per-packet conversion happens after this point.
+            share_block = np.array(packets, dtype=np.uint64)
             units = [
-                list(packets[start : start + batch])
+                share_block[start : start + batch]
                 for start in range(0, len(packets), batch)
             ]
             send = _many

@@ -10,13 +10,16 @@ not just priority.
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.classifiers import available_classifiers, build_classifier
+from repro.classifiers.base import ClassificationResult, LookupTrace
 from repro.classifiers.linear import LinearSearchClassifier
 from repro.core.nuevomatch import NuevoMatch
 from repro.engine import ClassificationEngine
-from repro.serving import CachedEngine, ShardedEngine
+from repro.rules.rule import Rule
+from repro.serving import CachedEngine, ShardedEngine, wire
 
 from _helpers import fast_nm_config
 
@@ -43,6 +46,24 @@ def _keys(results):
         None if result.rule is None else (result.rule.priority, result.rule.rule_id)
         for result in results
     ]
+
+
+def _block(packets):
+    return np.array([tuple(packet) for packet in packets], dtype=np.uint64)
+
+
+def _block_keys(rule_ids, priorities):
+    """Columnar outputs in the same key shape as :func:`_keys`."""
+    return [
+        None if rule_id < 0 else (int(priority), int(rule_id))
+        for rule_id, priority in zip(rule_ids, priorities)
+    ]
+
+
+def _wide_rule(ruleset, priority, rule_id):
+    """A full-range rule: matches every probe, so overlay order is stressed."""
+    ranges = tuple((0, spec.max_value) for spec in ruleset.schema)
+    return Rule(ranges, priority=priority, rule_id=rule_id)
 
 
 def _build(name, ruleset):
@@ -173,3 +194,286 @@ class TestCachedEngine:
         ) as cached:
             assert _keys(cached.classify_batch(packets)) == baseline
             assert _keys(cached.classify_batch(packets)) == baseline
+
+
+class TestColumnarConformance:
+    """``classify_block`` is the primitive; ``classify_batch`` is a view.
+
+    For every serving stack the columnar outputs must be row-identical to the
+    object path *on the same instance*, both with a clean ruleset and with a
+    pending update overlay (interleaved inserts and removes that have not been
+    merged into the built structures yet).
+    """
+
+    def test_plain_engine_block_matches_batch(self, conformance_ruleset):
+        engine = ClassificationEngine.build(conformance_ruleset, classifier="tm")
+        packets = _packets_for(conformance_ruleset)
+        rule_ids, priorities = engine.classify_block(_block(packets))
+        assert _block_keys(rule_ids, priorities) == _keys(
+            engine.classify_batch(packets)
+        )
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_sharded_block_matches_batch(self, shards, executor, acl_small):
+        packets = _packets_for(acl_small)
+        block = _block(packets)
+        with ShardedEngine.build(
+            acl_small,
+            shards=shards,
+            classifier="tm",
+            executor=executor,
+            retrain_threshold=1.0,
+        ) as sharded:
+            rule_ids, priorities = sharded.classify_block(block)
+            assert _block_keys(rule_ids, priorities) == _keys(
+                sharded.classify_batch(packets)
+            )
+            # Build a pending overlay: a full-range insert that beats every
+            # base rule, plus removals of current winners.
+            sharded.insert(_wide_rule(acl_small, priority=-10, rule_id=900_001))
+            for rule in list(acl_small)[:3]:
+                sharded.remove(rule.rule_id)
+            rule_ids, priorities = sharded.classify_block(block)
+            assert _block_keys(rule_ids, priorities) == _keys(
+                sharded.classify_batch(packets)
+            )
+            # Removing the overlay winner exercises the removed-winner rescan.
+            sharded.remove(900_001)
+            rule_ids, priorities = sharded.classify_block(block)
+            assert _block_keys(rule_ids, priorities) == _keys(
+                sharded.classify_batch(packets)
+            )
+
+    def test_sharded_workers_block_matches_batch(self, acl_small):
+        packets = _packets_for(acl_small)
+        block = _block(packets)
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="tm",
+            executor="workers",
+            retrain_threshold=1.0,
+        ) as sharded:
+            rule_ids, priorities = sharded.classify_block(block)
+            assert _block_keys(rule_ids, priorities) == _keys(
+                sharded.classify_batch(packets)
+            )
+            sharded.insert(_wide_rule(acl_small, priority=-10, rule_id=900_002))
+            for rule in list(acl_small)[:2]:
+                sharded.remove(rule.rule_id)
+            rule_ids, priorities = sharded.classify_block(block)
+            assert _block_keys(rule_ids, priorities) == _keys(
+                sharded.classify_batch(packets)
+            )
+
+    def test_sharded_block_traces_match_object_traces(self, acl_small):
+        """Per-packet trace counters agree between the two paths, including
+        over a pending overlay (probe counts are part of the contract)."""
+        packets = _packets_for(acl_small)
+        block = _block(packets)
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="tm",
+            executor="serial",
+            retrain_threshold=1.0,
+        ) as sharded:
+            sharded.insert(_wide_rule(acl_small, priority=-10, rule_id=900_003))
+            sharded.remove(list(acl_small)[0].rule_id)
+            traces = np.zeros((len(block), 5), dtype=np.int64)
+            sharded.classify_block(block, traces=traces)
+            results = sharded.classify_batch(packets)
+            expected = np.array(
+                [
+                    [
+                        result.trace.index_accesses,
+                        result.trace.rule_accesses,
+                        result.trace.model_accesses,
+                        result.trace.compute_ops,
+                        result.trace.hash_ops,
+                    ]
+                    for result in results
+                ],
+                dtype=np.int64,
+            )
+            np.testing.assert_array_equal(traces, expected)
+
+    @pytest.mark.parametrize("capacity", CACHE_CAPACITIES)
+    @pytest.mark.parametrize("wrap", ["plain", "sharded"])
+    def test_cached_block_matches_batch_with_interleaved_updates(
+        self, capacity, wrap, acl_small
+    ):
+        packets = _packets_for(acl_small)
+        block = _block(packets)
+        if wrap == "sharded":
+            base = ShardedEngine.build(
+                acl_small,
+                shards=2,
+                classifier="tm",
+                executor="serial",
+                retrain_threshold=1.0,
+            )
+        else:
+            base = ClassificationEngine.build(acl_small, classifier="tm")
+        try:
+            with CachedEngine(base, capacity=capacity) as cached:
+                # Cold (block fills the cache), warm (block hits), and the
+                # object path must all agree with the underlying engine.
+                for _ in range(2):
+                    expected = _keys(base.classify_batch(packets))
+                    rule_ids, priorities = cached.classify_block(block)
+                    assert _block_keys(rule_ids, priorities) == expected
+                    assert _keys(cached.classify_batch(packets)) == expected
+                # Interleaved updates invalidate; both paths must track them.
+                cached.insert(_wide_rule(acl_small, priority=-5, rule_id=910_001))
+                expected = _keys(base.classify_batch(packets))
+                rule_ids, priorities = cached.classify_block(block)
+                assert _block_keys(rule_ids, priorities) == expected
+                assert _keys(cached.classify_batch(packets)) == expected
+                cached.remove(910_001)
+                cached.remove(list(acl_small)[0].rule_id)
+                expected = _keys(base.classify_batch(packets))
+                rule_ids, priorities = cached.classify_block(block)
+                assert _block_keys(rule_ids, priorities) == expected
+                assert _keys(cached.classify_batch(packets)) == expected
+        finally:
+            close = getattr(base, "close", None)
+            if close is not None:
+                close()
+
+    def test_block_path_allocates_no_result_objects(self, acl_small, monkeypatch):
+        """The no-caller-objects path really is allocation-free: no
+        ClassificationResult and no LookupTrace is constructed anywhere in
+        cached → sharded → classifier ``classify_block``, cold or warm."""
+        packets = _packets_for(acl_small)
+        block = _block(packets)
+        counts = {"results": 0, "traces": 0}
+        real_result_init = ClassificationResult.__init__
+        real_trace_init = LookupTrace.__init__
+
+        def counting_result_init(self, *args, **kwargs):
+            counts["results"] += 1
+            real_result_init(self, *args, **kwargs)
+
+        def counting_trace_init(self, *args, **kwargs):
+            counts["traces"] += 1
+            real_trace_init(self, *args, **kwargs)
+
+        with ShardedEngine.build(
+            acl_small,
+            shards=2,
+            classifier="tm",
+            executor="serial",
+            retrain_threshold=1.0,
+        ) as sharded:
+            with CachedEngine(sharded, capacity=1024) as cached:
+                monkeypatch.setattr(
+                    ClassificationResult, "__init__", counting_result_init
+                )
+                monkeypatch.setattr(LookupTrace, "__init__", counting_trace_init)
+                cached.classify_block(block)  # cold: misses + fills
+                cached.classify_block(block)  # warm: cache hits
+                sharded.classify_block(block)  # uncached slow path
+                assert counts == {"results": 0, "traces": 0}
+                # Sanity: the counters do fire on the object path.
+                cached.classify_batch(packets[:4])
+                assert counts["results"] > 0 and counts["traces"] > 0
+
+
+class TestMissEncoding:
+    """One miss contract on every path: ``rule_id == -1``, ``priority == 0``.
+
+    Differential across plain/sharded/cached stacks (cold and warm), plus the
+    wire codec, so no internal sentinel (the worker runtime's old
+    ``MISS_PRIORITY``) can escape into results.
+    """
+
+    def test_miss_contract_uniform_across_paths(self, acl_small):
+        packets = _packets_for(acl_small)
+        oracle = LinearSearchClassifier.build(acl_small)
+        miss_rows = [
+            row
+            for row, key in enumerate(_keys(oracle.classify_batch(packets)))
+            if key is None
+        ]
+        assert miss_rows, "probe set must contain at least one miss"
+        block = _block(packets)
+        plain = ClassificationEngine.build(acl_small, classifier="tm")
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="tm", executor="serial"
+        ) as sharded:
+            with CachedEngine(
+                ClassificationEngine.build(acl_small, classifier="tm"), capacity=256
+            ) as cached:
+                for stack in (plain, sharded, cached, cached):  # cached twice: warm
+                    rule_ids, priorities = stack.classify_block(block)
+                    assert (rule_ids[miss_rows] == -1).all()
+                    assert (priorities[rule_ids < 0] == 0).all()
+                # The wire codec preserves the encoding bit for bit.
+                rule_ids, priorities = plain.classify_block(block)
+                payload = wire.encode_classify_response(7, rule_ids, priorities)
+                _id, status, wire_ids, wire_pris = wire.decode_classify_response(
+                    payload
+                )
+                assert status == wire.STATUS_OK
+                np.testing.assert_array_equal(wire_ids, rule_ids)
+                np.testing.assert_array_equal(wire_pris, priorities)
+
+    def test_worker_miss_sentinel_does_not_escape(self):
+        import repro.serving.workers as workers
+
+        assert not hasattr(workers, "MISS_PRIORITY")
+
+
+class TestBlockValidation:
+    """`validate_block` is the one shared gate: identical rejection messages
+    (and identical acceptance) across plain, sharded, and cached stacks."""
+
+    BAD_BLOCKS = (
+        pytest.param(
+            np.ones((4, 5), dtype=np.float64),
+            "packet block must be an integer array",
+            id="float-dtype",
+        ),
+        pytest.param(
+            np.ones(5, dtype=np.uint64),
+            "packet block must be 2-dimensional",
+            id="one-dimensional",
+        ),
+        pytest.param(
+            np.array([[1, -2, 3, 4, 5]], dtype=np.int64),
+            "packet field values must be non-negative",
+            id="negative-value",
+        ),
+    )
+
+    @pytest.mark.parametrize("bad, message", BAD_BLOCKS)
+    def test_identical_messages_across_stacks(self, bad, message, acl_small):
+        plain = ClassificationEngine.build(acl_small, classifier="tm")
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="tm", executor="serial"
+        ) as sharded:
+            with CachedEngine(
+                ClassificationEngine.build(acl_small, classifier="tm"), capacity=64
+            ) as cached:
+                for stack in (plain, sharded, cached):
+                    with pytest.raises(ValueError) as excinfo:
+                        stack.classify_block(bad)
+                    assert str(excinfo.value) == message
+
+    def test_signed_non_negative_blocks_are_accepted(self, acl_small):
+        """int64 blocks with non-negative values pass through every stack
+        (signedness alone is not a rejection)."""
+        packets = _packets_for(acl_small, matching=10, uniform=0)
+        signed = _block(packets).astype(np.int64)
+        plain = ClassificationEngine.build(acl_small, classifier="tm")
+        with ShardedEngine.build(
+            acl_small, shards=2, classifier="tm", executor="serial"
+        ) as sharded:
+            with CachedEngine(
+                ClassificationEngine.build(acl_small, classifier="tm"), capacity=64
+            ) as cached:
+                expected = _block_keys(*plain.classify_block(_block(packets)))
+                for stack in (plain, sharded, cached):
+                    assert _block_keys(*stack.classify_block(signed)) == expected

@@ -241,3 +241,90 @@ class TestProtocolEquivalence:
                 _compare_protocols(rules, batches), timeout=SCENARIO_DEADLINE
             )
         )
+
+
+class TestChunkedBatches:
+    """Batches larger than one 24-bit frame: the client chunks instead of
+    aborting the connection, and a failed send never leaks a pending future."""
+
+    def test_max_block_rows_arithmetic(self):
+        cap = wire.MAX_BINARY_FRAME
+        # The request side binds for schemas with >= 2 fields (8 bytes per
+        # field beats the 16-byte response record).
+        assert wire.max_block_rows(5) == (cap - wire._REQ_HEADER.size) // 40
+        # Single-field schemas are response-bound.
+        assert wire.max_block_rows(1) == (cap - wire._RES_HEADER.size) // 16
+        with pytest.raises(ValueError, match="at least one field"):
+            wire.max_block_rows(0)
+        # A frame at exactly max_block_rows fits under the cap.
+        rows = wire.max_block_rows(5)
+        payload_bytes = wire._REQ_HEADER.size + rows * 5 * 8
+        assert payload_bytes <= cap < payload_bytes + 5 * 8
+
+    def test_write_binary_frame_rejects_oversized_payload(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            wire.write_binary_frame(None, b"x" * (wire.MAX_BINARY_FRAME + 1))
+
+    def test_oversized_batch_round_trips_via_chunking(self, acl_small, monkeypatch):
+        """With the frame cap shrunk to 4 rows, an 18-packet batch must travel
+        as 5 pipelined frames and come back identical to the JSON answer —
+        no connection abort, no leaked pending futures."""
+
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client, await AsyncClient.connect(
+                    server.host, server.port, negotiate=False
+                ) as json_client:
+                    assert client.wire_v2
+                    fields = len(acl_small.schema)
+                    monkeypatch.setattr(
+                        wire,
+                        "MAX_BINARY_FRAME",
+                        wire._REQ_HEADER.size + 4 * fields * 8,
+                    )
+                    assert wire.max_block_rows(fields) == 4
+                    packets = acl_small.sample_packets(18, seed=11)
+                    binary = await client.classify_batch(packets)
+                    assert binary == await json_client.classify_batch(packets)
+                    assert client._binary_pending == {}
+                    stats = await client.stats()
+                    assert stats["server"]["binary_batches"] == 5  # ceil(18/4)
+                    # The connection is still healthy for further batches.
+                    again = await client.classify_batch(packets[:3])
+                    assert len(again) == 3
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))
+
+    def test_failed_send_pops_pending_future(self, acl_small, monkeypatch):
+        """A write failure must drop the request's pending entry (so a later
+        response to a reused id cannot be mis-delivered) and leave the
+        connection usable once writes succeed again."""
+
+        async def scenario():
+            engine = ClassificationEngine.build(acl_small, classifier="tm")
+            async with AsyncServer(engine) as server:
+                await server.start("127.0.0.1", 0)
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    assert client.wire_v2
+                    packets = acl_small.sample_packets(6, seed=12)
+                    real_write = wire.write_binary_frame
+
+                    def failing_write(writer, payload):
+                        raise ConnectionResetError("injected write failure")
+
+                    monkeypatch.setattr(wire, "write_binary_frame", failing_write)
+                    with pytest.raises(ConnectionResetError):
+                        await client.classify_batch(packets)
+                    assert client._binary_pending == {}
+                    monkeypatch.setattr(wire, "write_binary_frame", real_write)
+                    responses = await client.classify_batch(packets)
+                    assert len(responses) == 6
+                    assert client._binary_pending == {}
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=SCENARIO_DEADLINE))

@@ -21,7 +21,6 @@ from repro.engine import ClassificationEngine, results_to_arrays
 from repro.rules.rule import Rule, RuleSet
 from repro.serving import ShardedEngine, ShardWorkerRuntime, WorkerCrashed
 from repro.serving.partitioning import partition_for_shards
-from repro.serving.workers import MISS_PRIORITY
 
 SHARD_COUNTS = (1, 2, 4, 8)
 
@@ -84,7 +83,7 @@ class TestRuntime:
                 np.testing.assert_array_equal(rule_ids, expected_ids)
                 hits = rule_ids >= 0
                 np.testing.assert_array_equal(priorities[hits], expected_pris[hits])
-                assert (priorities[~hits] == MISS_PRIORITY).all()
+                assert (priorities[~hits] == 0).all()
                 assert (traces >= 0).all() and traces.shape == (len(block), 5)
         finally:
             runtime.close()
