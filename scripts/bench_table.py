@@ -122,11 +122,31 @@ def _rows_server_throughput(data: dict) -> list[tuple[str, str, str]]:
     return rows
 
 
+def _rows_overload_control(data: dict) -> list[tuple[str, str, str]]:
+    config = data.get("config", {})
+    summary = data["summary"]
+    slo_ms = summary["slo_p99_us"] / 1e3
+    burst_x = config.get("burst_pps", 0.0) / max(summary["capacity_pps"], 1.0)
+    name = (f"overload control (SLO p99 {slo_ms:.0f} ms, "
+            f"{burst_x:.0f}x-capacity burst)")
+    return [
+        (name, "adaptive p99 of admitted traffic under burst",
+         f"{_fmt(summary['adaptive_burst_p99_us'] / 1e3, 1)} ms "
+         f"(static: {_fmt(summary['static_burst_p99_us'] / 1e3, 0)} ms)"),
+        (name, "adaptive shed fraction, burst vs steady",
+         f"{summary['adaptive_burst_shed_fraction']:.0%} vs "
+         f"{summary['adaptive_steady_shed_fraction']:.0%}"),
+        (name, "p99 after the burst clears (recovery)",
+         f"{_fmt(summary['adaptive_recovery_p99_us'] / 1e3, 1)} ms"),
+    ]
+
+
 _RENDERERS = {
     "training_pipeline": _rows_training_pipeline,
     "sharded_scaling": _rows_sharded_scaling,
     "flowcache_locality": _rows_flowcache_locality,
     "server_throughput": _rows_server_throughput,
+    "overload_control": _rows_overload_control,
 }
 
 

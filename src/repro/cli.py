@@ -25,9 +25,12 @@ Commands:
   ``--listen HOST:PORT`` the engine is served over asyncio TCP instead
   (length-prefixed JSON; classify/insert/remove/stats), with concurrent
   requests coalesced into micro-batches under the
-  ``(--max-batch, --max-delay-us)`` policy, a bounded request queue
-  (``--max-queue``) for backpressure, and an optional exact-match flow cache
-  (``--cache-size``).
+  ``(--max-batch, --max-delay-us)`` policy, a packet-weighted admission
+  budget (``--max-queue``) for backpressure shared by the JSON and binary
+  paths, and an optional exact-match flow cache (``--cache-size``).
+  ``--adaptive`` (implied by ``--slo-p99-us``) runs the overload
+  controller: batch/delay/budget — and the cache, when one is configured —
+  retune each window against the p99 SLO.
 * ``replay``   — end-to-end scenario replay: drive a §5.1.1 trace
   (``--trace {uniform,zipf,caida}``, ``--skew`` for the Figure-12 Zipf
   settings) through any engine configuration (``--shards N``,
@@ -205,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--cache-size", type=int, default=0,
                          help="front the engine with an exact-match flow "
                               "cache of this many entries (--listen only)")
+    sharded.add_argument("--slo-p99-us", type=float, default=None,
+                         help="p99 service-time objective (microseconds) for "
+                              "the overload controller; implies --adaptive "
+                              "unless --no-adaptive is given")
+    sharded.add_argument("--adaptive", default=None,
+                         action=argparse.BooleanOptionalAction,
+                         help="self-tune max-batch/max-delay-us/max-queue "
+                              "(and the flow cache, with --cache-size) "
+                              "against the p99 SLO each control window")
 
     replay = sub.add_parser(
         "replay", help="replay a generated trace through the serving stack"
@@ -501,6 +513,12 @@ def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
     host, port = _listen_address(args.listen)
     if args.cache_size > 0:
         engine = CachedEngine(engine, capacity=args.cache_size)
+    # Naming an SLO implies wanting it enforced; --no-adaptive still wins.
+    adaptive = (
+        args.adaptive
+        if args.adaptive is not None
+        else args.slo_p99_us is not None
+    )
     try:
         stats = run_server(
             engine,
@@ -509,11 +527,14 @@ def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
             max_batch=args.max_batch,
             max_delay_us=args.max_delay_us,
             max_queue=args.max_queue,
+            slo_p99_us=args.slo_p99_us,
+            adaptive=adaptive,
             ready=lambda server: print(
                 f"listening on {server.host}:{server.port} "
                 f"(max_batch={args.max_batch}, "
                 f"max_delay_us={args.max_delay_us:g}, "
-                f"cache_size={args.cache_size})",
+                f"cache_size={args.cache_size}, "
+                f"adaptive={'on' if adaptive else 'off'})",
                 file=sys.stderr,
                 flush=True,
             ),
@@ -522,6 +543,8 @@ def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
         engine.close()
     server_stats = stats.get("server", {})
     batcher = server_stats.get("batcher", {})
+    budget = server_stats.get("budget", {})
+    controller = server_stats.get("controller") or {}
     print(format_kv(
         {
             "requests served": server_stats.get("requests_served", 0),
@@ -530,8 +553,18 @@ def _cmd_serve_listen(args: argparse.Namespace, engine) -> int:
             "max batch seen": batcher.get("max_batch_seen", 0),
             "rejected (overload)": batcher.get("rejected", 0),
             "max queue depth": batcher.get("max_queue_depth", 0),
+            "shed packets": budget.get("rejected_packets", 0),
             "latency p50 us": round(server_stats.get("p50_us", 0.0), 1),
             "latency p99 us": round(server_stats.get("p99_us", 0.0), 1),
+            **(
+                {
+                    "slo p99 us": controller.get("slo_p99_us"),
+                    "control windows": controller.get("windows", 0),
+                    "slo breaches": controller.get("breaches", 0),
+                }
+                if controller
+                else {}
+            ),
         },
         title="server shutdown statistics",
     ))

@@ -25,6 +25,14 @@ runtime behind ``executor="workers"``, and :mod:`repro.serving.wire` for the
 binary wire protocol v2 the server and clients negotiate per connection.
 """
 
+from repro.serving.control import (
+    DEFAULT_SLO_P99_US,
+    CacheTuner,
+    ControllerConfig,
+    ControlSettings,
+    OverloadController,
+    PacketBudget,
+)
 from repro.serving.flowcache import (
     DEFAULT_CACHE_CAPACITY,
     CachedEngine,
@@ -63,6 +71,11 @@ __all__ = [
     "RequestBatcher",
     "BatcherStats",
     "QueueFullError",
+    "PacketBudget",
+    "OverloadController",
+    "ControllerConfig",
+    "ControlSettings",
+    "CacheTuner",
     "ServerError",
     "run_server",
     "partition_for_shards",
@@ -73,4 +86,5 @@ __all__ = [
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_DELAY_US",
     "DEFAULT_MAX_QUEUE",
+    "DEFAULT_SLO_P99_US",
 ]

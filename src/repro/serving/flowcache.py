@@ -167,6 +167,10 @@ class FlowCache:
         self._free: list[int] = list(range(capacity - 1, -1, -1))
         self._clock = 0
         self._epoch = 0
+        # Windowed hit/miss deltas for the cache tuner (drained by
+        # take_hit_window); aggregate history stays in ``stats``.
+        self._window_hits = 0
+        self._window_misses = 0
         # Serializes probe/fill against listener-driven invalidation: the
         # UpdateQueue notifies from the updater's thread, and an unlocked
         # probe racing _drop_slot/_store could read another flow's slot.
@@ -209,6 +213,7 @@ class FlowCache:
         with self._lock:
             if not self._index:
                 self.stats.misses += n
+                self._window_misses += n
                 return winners, mask
             hit_slots: list[int] = []
             index = self._index
@@ -223,6 +228,8 @@ class FlowCache:
                 self._last_used[hit_slots] = self._clock
             self.stats.hits += len(hit_slots)
             self.stats.misses += n - len(hit_slots)
+            self._window_hits += len(hit_slots)
+            self._window_misses += n - len(hit_slots)
         return winners, mask
 
     def probe_block(
@@ -245,6 +252,7 @@ class FlowCache:
         with self._lock:
             if not self._index:
                 self.stats.misses += n
+                self._window_misses += n
                 return rule_ids, priorities, mask
             hit_rows: list[int] = []
             hit_slots: list[int] = []
@@ -262,6 +270,8 @@ class FlowCache:
                 mask[hit_rows] = True
             self.stats.hits += len(hit_slots)
             self.stats.misses += n - len(hit_slots)
+            self._window_hits += len(hit_slots)
+            self._window_misses += n - len(hit_slots)
         return rule_ids, priorities, mask
 
     def fill_block(
@@ -451,6 +461,72 @@ class FlowCache:
         with self._lock:
             self._epoch += 1
             return self._drop_mask(self._occupied.copy())
+
+    # ---------------------------------------------------------------- resizing
+
+    def resize(self, capacity: int) -> int:
+        """Change capacity in place, keeping the most-recently-used entries.
+
+        Shrinking below the current occupancy evicts the LRU overflow first
+        (counted in ``stats.evictions``); surviving entries keep their LRU
+        clocks and winners.  The invalidation epoch is *not* bumped — a
+        resize changes no rule state, so an in-flight slow-path fill remains
+        valid and is not dropped.  Returns the number of entries evicted.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        with self._lock:
+            if capacity == self.capacity:
+                return 0
+            evicted = 0
+            overflow = len(self._index) - capacity
+            if overflow > 0:
+                before = self.stats.evictions
+                self._evict_lru(overflow)
+                evicted = self.stats.evictions - before
+            survivors = np.flatnonzero(self._occupied)
+            keys = self._keys[survivors].copy()
+            rule_ids = self._rule_ids[survivors].copy()
+            priorities = self._priorities[survivors].copy()
+            last_used = self._last_used[survivors].copy()
+            rules = [self._rules[int(slot)] for slot in survivors]
+            slot_keys = [self._slot_keys[int(slot)] for slot in survivors]
+            self.capacity = capacity
+            self._keys = np.zeros((capacity, self.num_fields), dtype=np.uint64)
+            self._rule_ids = np.full(capacity, _NO_MATCH, dtype=np.int64)
+            self._priorities = np.zeros(capacity, dtype=np.int64)
+            self._last_used = np.zeros(capacity, dtype=np.int64)
+            self._occupied = np.zeros(capacity, dtype=bool)
+            self._rules = [None] * capacity
+            self._slot_keys = [None] * capacity
+            self._index = {}
+            count = len(survivors)
+            if count:
+                self._keys[:count] = keys
+                self._rule_ids[:count] = rule_ids
+                self._priorities[:count] = priorities
+                self._last_used[:count] = last_used
+                self._occupied[:count] = True
+                for slot in range(count):
+                    key = slot_keys[slot]
+                    assert key is not None
+                    self._rules[slot] = rules[slot]
+                    self._slot_keys[slot] = key
+                    self._index[key] = slot
+            self._free = list(range(capacity - 1, count - 1, -1))
+            return evicted
+
+    def take_hit_window(self) -> tuple[int, int]:
+        """Drain and return ``(hits, misses)`` accumulated since the last call.
+
+        The :class:`~repro.serving.control.CacheTuner` consumes one window per
+        control interval; aggregate counters in :attr:`stats` are unaffected.
+        """
+        with self._lock:
+            window = (self._window_hits, self._window_misses)
+            self._window_hits = 0
+            self._window_misses = 0
+            return window
 
     # ----------------------------------------------------------- introspection
 
@@ -714,6 +790,11 @@ class CachedEngine:
             self._rules_by_id = None
             self.cache.invalidate_remove(rule_id)
         return removed
+
+    def resize_cache(self, capacity: int) -> int:
+        """Resize the flow cache in place (MRU entries survive; see
+        :meth:`FlowCache.resize`).  The hook the server's cache tuner uses."""
+        return self.cache.resize(capacity)
 
     # ----------------------------------------------------------- introspection
 

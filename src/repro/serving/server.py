@@ -47,6 +47,16 @@ Protocol v2 (:mod:`repro.serving.wire`) adds a binary classify-batch fast
 path negotiated per connection via the ``hello`` op; JSON remains the
 fallback and the control plane.  See docs/PROTOCOL.md for the normative
 spec.
+
+Admission is *packet-weighted* and shared across both protocols: every
+classify — a JSON request (1 packet) or a binary batch (its row count) —
+charges one :class:`~repro.serving.control.PacketBudget` before it is
+accepted, so ``max_queue`` bounds rows of outstanding work rather than
+request counts, and the binary fast path is subject to the same
+backpressure (``STATUS_OVERLOADED``) as JSON (``code: "overloaded"``).
+With ``adaptive=True`` an :class:`~repro.serving.control.OverloadController`
+retunes ``(max_batch, max_delay_us, max_queue)`` each window against a p99
+SLO; see :mod:`repro.serving.control`.
 """
 
 from __future__ import annotations
@@ -66,12 +76,23 @@ from repro.engine.engine import results_to_arrays
 from repro.engine.serialization import rule_from_state, rule_to_state
 from repro.rules.rule import Packet, Rule
 from repro.serving import wire
+from repro.serving.control import (
+    DEFAULT_SLO_P99_US,
+    CacheTuner,
+    ControllerConfig,
+    ControlSettings,
+    OverloadController,
+    PacketBudget,
+    QueueFullError,
+)
 
 __all__ = [
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_DELAY_US",
     "DEFAULT_MAX_QUEUE",
+    "DEFAULT_SLO_P99_US",
     "MAX_FRAME_BYTES",
+    "PacketBudget",
     "QueueFullError",
     "ServerError",
     "BatcherStats",
@@ -101,10 +122,6 @@ MAX_FRAME_BYTES = 1 << 22
 _LENGTH = struct.Struct(">I")
 
 
-class QueueFullError(RuntimeError):
-    """The batcher's bounded queue is at capacity (backpressure)."""
-
-
 class ServerError(RuntimeError):
     """An ``ok: false`` response received by :class:`AsyncClient`."""
 
@@ -126,6 +143,8 @@ class BatcherStats:
     batches: int = 0
     coalesced: int = 0
     max_batch_seen: int = 0
+    #: Peak queued *packets* (requests weight their row count, so this is
+    #: comparable against ``max_queue`` — also packet-denominated).
     max_queue_depth: int = 0
 
     @property
@@ -145,14 +164,20 @@ class BatcherStats:
 
 
 class PendingRequest:
-    """One queued classify request: its payload, arrival time and future."""
+    """One queued classify request: payload, arrival time, future, weight.
 
-    __slots__ = ("payload", "enqueued_at", "future")
+    ``weight`` is the request's admission cost in packets (rows) — what it
+    charged the :class:`~repro.serving.control.PacketBudget` and will free
+    when its batch is taken.
+    """
 
-    def __init__(self, payload, enqueued_at: float, future):
+    __slots__ = ("payload", "enqueued_at", "future", "weight")
+
+    def __init__(self, payload, enqueued_at: float, future, weight: int = 1):
         self.payload = payload
         self.enqueued_at = enqueued_at
         self.future = future
+        self.weight = weight
 
 
 class RequestBatcher:
@@ -170,11 +195,16 @@ class RequestBatcher:
         max_delay_us: Close a batch once its oldest request has waited this
             long (microseconds); 0 closes batches as soon as the dispatcher
             is free.
-        max_queue: Bounded-queue capacity; :meth:`submit` raises
-            :class:`QueueFullError` beyond it.
+        max_queue: Bounded-queue capacity in *packets*; :meth:`submit` raises
+            :class:`QueueFullError` beyond it.  Ignored when ``budget`` is
+            given.
         clock: Monotonic seconds source (injectable for determinism).
         future_factory: Constructor for per-request futures; defaults to the
             running event loop's ``create_future``.
+        budget: A shared :class:`~repro.serving.control.PacketBudget` to
+            charge admissions against (the server passes the one its binary
+            path also draws from); by default the batcher owns a private
+            budget of ``max_queue`` packets.
     """
 
     def __init__(
@@ -184,22 +214,35 @@ class RequestBatcher:
         max_queue: int = DEFAULT_MAX_QUEUE,
         clock: Callable[[], float] = time.monotonic,
         future_factory: Callable[[], object] | None = None,
+        budget: PacketBudget | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_delay_us < 0:
             raise ValueError("max_delay_us must be >= 0")
-        if max_queue < 1:
+        if budget is None and max_queue < 1:
             raise ValueError("max_queue must be at least 1")
         self.max_batch = max_batch
         self.max_delay_us = max_delay_us
-        self.max_queue = max_queue
+        self.budget = budget if budget is not None else PacketBudget(max_queue)
         self.stats = BatcherStats()
         self._clock = clock
         self._future_factory = future_factory
         self._pending: deque[PendingRequest] = deque()
+        self._queued_packets = 0
         self._closed = False
         self._wakeup: asyncio.Event | None = None
+
+    @property
+    def max_queue(self) -> int:
+        """Admission capacity in packets (the shared budget's limit)."""
+        return self.budget.limit
+
+    @max_queue.setter
+    def max_queue(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.budget.limit = int(value)
 
     # ----------------------------------------------------------- pure policy
 
@@ -212,20 +255,36 @@ class RequestBatcher:
     def queue_depth(self) -> int:
         return len(self._pending)
 
-    def submit(self, payload) -> PendingRequest:
-        """Queue one request; raises :class:`QueueFullError` at capacity."""
+    @property
+    def queued_packets(self) -> int:
+        """Total admission weight currently queued (packets, not requests)."""
+        return self._queued_packets
+
+    def submit(self, payload, weight: int = 1) -> PendingRequest:
+        """Queue one request of ``weight`` packets; raises
+        :class:`QueueFullError` when the packet budget is at capacity.
+
+        ``weight`` is the admission cost in rows — 1 for a single-packet
+        classify, ``len(payload)`` for a pre-formed batch payload.  A
+        request wider than the whole budget is still admitted when nothing
+        else is queued or in flight (progress guarantee; see
+        :class:`~repro.serving.control.PacketBudget`).
+        """
         if self._closed:
             raise RuntimeError("batcher is closed")
-        if len(self._pending) >= self.max_queue:
+        try:
+            self.budget.try_acquire(weight)
+        except QueueFullError:
             self.stats.rejected += 1
-            raise QueueFullError(
-                f"request queue at capacity ({self.max_queue}); retry later"
-            )
-        pending = PendingRequest(payload, self._clock(), self._new_future())
+            raise
+        pending = PendingRequest(
+            payload, self._clock(), self._new_future(), weight
+        )
         self._pending.append(pending)
+        self._queued_packets += weight
         self.stats.requests += 1
-        if len(self._pending) > self.stats.max_queue_depth:
-            self.stats.max_queue_depth = len(self._pending)
+        if self._queued_packets > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = self._queued_packets
         if self._wakeup is not None:
             self._wakeup.set()
         return pending
@@ -245,10 +304,19 @@ class RequestBatcher:
         return max(0.0, (self.max_delay_us - waited_us) / 1e6)
 
     def take_batch(self) -> list[PendingRequest]:
-        """Close and return the current batch (oldest ``max_batch`` requests)."""
+        """Close and return the current batch (oldest ``max_batch`` requests).
+
+        Taking a batch frees its packet weight back to the admission budget:
+        the budget bounds *queued* work, matching the pre-weighted
+        ``max_queue`` semantics (capacity frees as batches are taken, not as
+        they finish processing).
+        """
         count = min(len(self._pending), self.max_batch)
         batch = [self._pending.popleft() for _ in range(count)]
         if batch:
+            freed = sum(pending.weight for pending in batch)
+            self._queued_packets -= freed
+            self.budget.release(freed)
             self.stats.batches += 1
             self.stats.coalesced += len(batch)
             if len(batch) > self.stats.max_batch_seen:
@@ -365,6 +433,17 @@ class AsyncServer:
     The server does not own the engine: :meth:`stop` shuts down the network
     side and the dispatcher but leaves the engine to its caller (close it via
     its own ``close()``, uniformly present on every engine stack).
+
+    Admission is packet-weighted and shared: ``self.budget`` (a
+    :class:`~repro.serving.control.PacketBudget` of ``max_queue`` packets) is
+    charged by the JSON batcher per queued packet *and* by the binary path
+    per classify-batch row, so either protocol's load sheds the other.  With
+    ``adaptive=True`` (or an explicit ``controller``) an
+    :class:`~repro.serving.control.OverloadController` retunes the batcher
+    and the budget every window against ``slo_p99_us``; ``tune_cache``
+    additionally lets a :class:`~repro.serving.control.CacheTuner` resize
+    the engine's flow cache from observed hit rates (default: on whenever
+    the controller runs and the engine exposes ``resize_cache``).
     """
 
     def __init__(
@@ -375,18 +454,51 @@ class AsyncServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         clock: Callable[[], float] = time.monotonic,
         wire_v2: bool = True,
+        slo_p99_us: float | None = None,
+        adaptive: bool = False,
+        tune_cache: bool | None = None,
+        controller: OverloadController | None = None,
     ):
         self.engine = engine
         #: Offer binary protocol v2 in ``hello`` negotiation (v1 JSON always
         #: stays available; False emulates a pre-v2 server).
         self.wire_v2 = wire_v2
         self._binary_batches = 0
+        #: Shared packet-weighted admission budget (both wire paths).
+        self.budget = PacketBudget(max_queue)
         self.batcher = RequestBatcher(
             max_batch=max_batch,
             max_delay_us=max_delay_us,
-            max_queue=max_queue,
             clock=clock,
+            budget=self.budget,
         )
+        if controller is None and adaptive:
+            controller = OverloadController(
+                ControllerConfig(
+                    slo_p99_us=(
+                        slo_p99_us if slo_p99_us is not None
+                        else DEFAULT_SLO_P99_US
+                    )
+                ),
+                ControlSettings(
+                    max_batch=max_batch,
+                    max_delay_us=max_delay_us,
+                    max_queue=max_queue,
+                ),
+                clock=clock,
+            )
+        self._controller = controller
+        self.slo_p99_us = (
+            controller.config.slo_p99_us if controller is not None else slo_p99_us
+        )
+        if tune_cache is None:
+            tune_cache = controller is not None
+        self._cache_tuner = (
+            CacheTuner()
+            if tune_cache and hasattr(engine, "resize_cache")
+            else None
+        )
+        self._control_task: asyncio.Task | None = None
         self._clock = clock
         self._server: asyncio.base_events.Server | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -415,6 +527,10 @@ class AsyncServer:
         self._dispatcher = asyncio.get_running_loop().create_task(
             self.batcher.run(self._process_batch)
         )
+        if self._controller is not None:
+            self._control_task = asyncio.get_running_loop().create_task(
+                self._control_loop()
+            )
 
     async def stop(self) -> None:
         """Stop accepting, drain queued requests, shut the dispatcher down.
@@ -430,6 +546,13 @@ class AsyncServer:
                 writer.close()
             await self._server.wait_closed()
             self._server = None
+        if self._control_task is not None:
+            self._control_task.cancel()
+            try:
+                await self._control_task
+            except asyncio.CancelledError:
+                pass
+            self._control_task = None
         self.batcher.close()
         if self._dispatcher is not None:
             await self._dispatcher
@@ -454,6 +577,45 @@ class AsyncServer:
 
     async def _process_batch(self, packets: list) -> list:
         return await self._in_worker(self.engine.classify_batch, packets)
+
+    # --------------------------------------------------------------- control
+
+    async def _control_loop(self) -> None:
+        """The observe → decide → apply loop of the overload controller.
+
+        Sleeps until the controller's window closes, feeds it the budget
+        occupancy, and applies whatever settings it decides to the batcher
+        and the shared budget.  Latency/shed observations stream in from the
+        request paths; this loop only closes windows.  Cancelled by
+        :meth:`stop`.
+        """
+        controller = self._controller
+        assert controller is not None
+        while True:
+            await asyncio.sleep(max(controller.due_in(), 0.005))
+            controller.observe_queue(self.budget.in_flight)
+            settings = controller.maybe_roll()
+            if settings is None:
+                continue
+            self.batcher.max_batch = settings.max_batch
+            self.batcher.max_delay_us = settings.max_delay_us
+            self.budget.limit = settings.max_queue
+            if self._cache_tuner is not None:
+                await self._tune_cache()
+
+    async def _tune_cache(self) -> None:
+        """One cache-tuning step: drain the hit window, maybe resize.
+
+        The resize runs on the engine worker so it serializes with classify
+        batches — the cache is never rebuilt under a concurrent probe.
+        """
+        assert self._cache_tuner is not None
+        cache = self.engine.cache
+        hits, misses = cache.take_hit_window()
+        capacity = cache.capacity
+        target = self._cache_tuner.on_window(capacity, hits, misses)
+        if target != capacity:
+            await self._in_worker(self.engine.resize_cache, target)
 
     # ------------------------------------------------------------ connections
 
@@ -564,9 +726,19 @@ class AsyncServer:
     async def _op_classify(self, request: dict) -> dict:
         values = _packet_values(request["packet"])
         start = self._clock()
-        pending = self.batcher.submit(values)
+        try:
+            pending = self.batcher.submit(values)
+        except QueueFullError:
+            if self._controller is not None:
+                self._controller.observe_shed(1)
+            raise
+        if self._controller is not None:
+            self._controller.observe_queue(self.budget.in_flight)
         result = await pending.future
-        self._latencies_us.append((self._clock() - start) * 1e6)
+        latency_us = (self._clock() - start) * 1e6
+        self._latencies_us.append(latency_us)
+        if self._controller is not None:
+            self._controller.observe_completion(latency_us, 1)
         rule = result.rule
         return {
             "ok": True,
@@ -595,13 +767,19 @@ class AsyncServer:
     ) -> None:
         """Serve one v2 classify-batch frame.
 
-        The batch arrives pre-formed, so it bypasses the coalescing batcher
-        and runs as one ``classify_block`` call on the same single-threaded
-        engine executor all other ops serialize through — the
-        eviction-before-ack ordering holds unchanged (an acknowledged update
-        already ran on that executor before this batch does).
+        The batch arrives pre-formed, so it bypasses the *coalescing* batcher
+        — but not admission: it charges its row count against the shared
+        packet budget before dispatch and frees it when the response is
+        computed, so an overloaded server answers ``STATUS_OVERLOADED``
+        instead of queueing without bound (and binary load sheds JSON load,
+        and vice versa).  Admitted batches run as one ``classify_block`` call
+        on the same single-threaded engine executor all other ops serialize
+        through — the eviction-before-ack ordering holds unchanged (an
+        acknowledged update already ran on that executor before this batch
+        does).
         """
         request_id = 0
+        shed_packets = 1
         response: bytes
         try:
             request_id, block = wire.decode_classify_request(payload)
@@ -611,17 +789,29 @@ class AsyncServer:
                     f"packets have {block.shape[1]} fields, engine expects "
                     f"{num_fields}"
                 )
-            start = self._clock()
-            rule_ids, priorities = await self._in_worker(
-                self._classify_block, block
-            )
-            self._latencies_us.append((self._clock() - start) * 1e6)
+            shed_packets = len(block)
+            self.budget.try_acquire(len(block))
+            try:
+                if self._controller is not None:
+                    self._controller.observe_queue(self.budget.in_flight)
+                start = self._clock()
+                rule_ids, priorities = await self._in_worker(
+                    self._classify_block, block
+                )
+                latency_us = (self._clock() - start) * 1e6
+            finally:
+                self.budget.release(len(block))
+            self._latencies_us.append(latency_us)
+            if self._controller is not None:
+                self._controller.observe_completion(latency_us, len(block))
             response = wire.encode_classify_response(
                 request_id, rule_ids, priorities
             )
             self._requests_served += 1
             self._binary_batches += 1
         except QueueFullError:
+            if self._controller is not None:
+                self._controller.observe_shed(shed_packets)
             response = wire.encode_error_response(
                 request_id, wire.STATUS_OVERLOADED
             )
@@ -664,10 +854,23 @@ class AsyncServer:
                     getattr(self.engine, "supports_updates", False)
                 ),
                 "queue_depth": self.batcher.queue_depth,
+                "queued_packets": self.batcher.queued_packets,
                 "max_batch": self.batcher.max_batch,
                 "max_delay_us": self.batcher.max_delay_us,
                 "max_queue": self.batcher.max_queue,
                 "batcher": self.batcher.stats.as_dict(),
+                "budget": self.budget.as_dict(),
+                "adaptive": self._controller is not None,
+                "controller": (
+                    self._controller.as_dict()
+                    if self._controller is not None
+                    else None
+                ),
+                "cache_tuner": (
+                    self._cache_tuner.as_dict()
+                    if self._cache_tuner is not None
+                    else None
+                ),
                 **self.latency_percentiles_us(),
             },
             "engine": self.engine.statistics(),
@@ -911,6 +1114,8 @@ def run_server(
     max_batch: int = DEFAULT_MAX_BATCH,
     max_delay_us: float = DEFAULT_MAX_DELAY_US,
     max_queue: int = DEFAULT_MAX_QUEUE,
+    slo_p99_us: float | None = None,
+    adaptive: bool = False,
     ready: Callable[[AsyncServer], None] | None = None,
     shutdown: "asyncio.Event | None" = None,
 ) -> dict:
@@ -919,7 +1124,8 @@ def run_server(
     ``ready(server)`` fires once the socket is bound (the CLI prints the
     listening address there); ``shutdown`` is an optional externally-set event
     for embedding the blocking server in tests.  The engine is *not* closed —
-    the caller owns its lifecycle.
+    the caller owns its lifecycle.  ``adaptive`` enables the overload
+    controller against ``slo_p99_us`` (see :class:`AsyncServer`).
     """
     final_stats: dict = {}
 
@@ -929,6 +1135,8 @@ def run_server(
             max_batch=max_batch,
             max_delay_us=max_delay_us,
             max_queue=max_queue,
+            slo_p99_us=slo_p99_us,
+            adaptive=adaptive,
         )
         await server.start(host, port)
         if ready is not None:

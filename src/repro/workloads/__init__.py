@@ -15,7 +15,13 @@ serving: the same §5.1.1 traces offered as concurrent requests to an
 and client-observed latency.
 """
 
-from repro.workloads.loadgen import LoadReport, open_loop_load, run_load
+from repro.workloads.loadgen import (
+    BurstProfile,
+    LoadReport,
+    RampProfile,
+    open_loop_load,
+    run_load,
+)
 from repro.workloads.replay import (
     TRACE_KINDS,
     ReplayReport,
@@ -27,7 +33,9 @@ from repro.workloads.replay import (
 
 __all__ = [
     "TRACE_KINDS",
+    "BurstProfile",
     "LoadReport",
+    "RampProfile",
     "ReplayReport",
     "build_scenario_engine",
     "make_trace",

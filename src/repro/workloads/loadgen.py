@@ -14,6 +14,10 @@ provides that client side:
   under overload is charged to the server, not hidden by the client.  The
   in-flight window bounds client memory, making the generator quasi-open-loop
   (the standard compromise, cf. open-loop harnesses like wrk2).
+* :class:`RampProfile` / :class:`BurstProfile` — time-varying offered-rate
+  schedules (a linear capacity sweep, a periodic square-wave burst) in place
+  of the constant ``rate_pps``; the shapes the overload-control bench drives
+  the adaptive server with.
 * :func:`run_load` — blocking wrapper (``asyncio.run``) returning a
   :class:`LoadReport`.
 
@@ -41,7 +45,84 @@ import numpy as np
 
 from repro.serving.server import AsyncClient, ServerError
 
-__all__ = ["LoadReport", "open_loop_load", "run_load"]
+__all__ = [
+    "BurstProfile",
+    "LoadReport",
+    "RampProfile",
+    "open_loop_load",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class RampProfile:
+    """Offered rate ramping linearly from ``start_pps`` to ``end_pps``.
+
+    The arrival schedule accumulates per-packet gaps of the instantaneous
+    rate, so a ramp across a server's capacity sweeps it from underload to
+    overload within one run — the shape the overload controller's e2e tests
+    and bench use to watch adaptation mid-stream.
+    """
+
+    start_pps: float
+    end_pps: float
+
+    name = "ramp"
+
+    def __post_init__(self):
+        if self.start_pps <= 0 or self.end_pps <= 0:
+            raise ValueError("ramp rates must be positive")
+
+    def offsets(self, n: int) -> np.ndarray:
+        """Arrival-time offsets (seconds from run start) for ``n`` packets."""
+        if n < 1:
+            return np.zeros(0)
+        fractions = np.arange(n) / max(n - 1, 1)
+        rates = self.start_pps + (self.end_pps - self.start_pps) * fractions
+        gaps = 1.0 / rates
+        return np.concatenate(([0.0], np.cumsum(gaps[:-1])))
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """A square-wave offered rate: ``base_pps`` with periodic bursts.
+
+    Each ``period_s`` opens with a burst of ``burst_pps`` lasting
+    ``duty * period_s``, then falls back to ``base_pps`` — the classic
+    overload-recovery shape (e.g. a 2x-capacity burst against a steady 0.6x
+    background).  Offsets are integrated packet by packet: each gap is the
+    inverse of the instantaneous rate at that packet's arrival.
+    """
+
+    base_pps: float
+    burst_pps: float
+    period_s: float = 1.0
+    duty: float = 0.2
+
+    name = "burst"
+
+    def __post_init__(self):
+        if self.base_pps <= 0 or self.burst_pps <= 0:
+            raise ValueError("burst rates must be positive")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+
+    def offsets(self, n: int) -> np.ndarray:
+        """Arrival-time offsets (seconds from run start) for ``n`` packets."""
+        out = np.empty(n)
+        burst_span = self.duty * self.period_s
+        t = 0.0
+        for index in range(n):
+            out[index] = t
+            rate = (
+                self.burst_pps
+                if (t % self.period_s) < burst_span
+                else self.base_pps
+            )
+            t += 1.0 / rate
+        return out
 
 
 @dataclass
@@ -62,6 +143,7 @@ class LoadReport:
     window: int
     batch: int = 1
     protocol: str = "json"
+    profile: Optional[str] = None
     server: dict = field(default_factory=dict)
 
     @property
@@ -86,6 +168,7 @@ class LoadReport:
             "window": self.window,
             "batch": self.batch,
             "protocol": self.protocol,
+            "profile": self.profile,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "server": self.server,
         }
@@ -114,6 +197,13 @@ async def _drive_connection(
             if response["matched"]:
                 counters["matched"] += 1
             counters["completed"] += 1
+            # Latency from the *scheduled* arrival: open-loop measurements
+            # charge queueing delay to the server.  Only completed work
+            # samples — shed requests return fast by design, and mixing
+            # their turnaround into the percentiles would let a server look
+            # "faster" by rejecting more (percentiles are of *admitted*
+            # traffic; sheds are reported separately in `overloaded`).
+            latencies_us.append((time.monotonic() - scheduled) * 1e6)
         except ServerError as exc:
             if exc.code == "overloaded":
                 counters["overloaded"] += 1
@@ -122,9 +212,6 @@ async def _drive_connection(
         except (ConnectionError, RuntimeError):
             counters["errors"] += 1
         finally:
-            # Latency from the *scheduled* arrival: open-loop measurements
-            # charge queueing delay to the server.
-            latencies_us.append((time.monotonic() - scheduled) * 1e6)
             inflight.release()
 
     async def _many(group: np.ndarray, scheduled: float) -> None:
@@ -132,6 +219,13 @@ async def _drive_connection(
             responses = await client.classify_batch(group)
             counters["matched"] += sum(1 for r in responses if r["matched"])
             counters["completed"] += len(responses)
+            # One latency sample *per packet*, not per batch: `completed`
+            # counts packets, so percentiles must weight a 8-packet batch
+            # eight times or batch>1 runs would report per-batch quantiles
+            # in packet-denominated reports.
+            latencies_us.extend(
+                [(time.monotonic() - scheduled) * 1e6] * len(responses)
+            )
         except ServerError as exc:
             if exc.code == "overloaded":
                 counters["overloaded"] += len(group)
@@ -140,7 +234,6 @@ async def _drive_connection(
         except (ConnectionError, RuntimeError):
             counters["errors"] += len(group)
         finally:
-            latencies_us.append((time.monotonic() - scheduled) * 1e6)
             inflight.release()
 
     async with await AsyncClient.connect(host, port, negotiate=negotiate) as client:
@@ -199,6 +292,7 @@ async def open_loop_load(
     rate_pps: float | None = None,
     batch: int = 1,
     protocol: str = "auto",
+    profile: "RampProfile | BurstProfile | None" = None,
 ) -> LoadReport:
     """Fire ``packets`` at the server and report client-observed behaviour.
 
@@ -217,6 +311,10 @@ async def open_loop_load(
             *packets* (a batch departs at its first packet's arrival time).
         protocol: ``"auto"`` negotiates binary v2 with JSON fallback;
             ``"json"`` pins v1 (the pre-v2 client behaviour).
+        profile: A time-varying offered rate (:class:`RampProfile` /
+            :class:`BurstProfile`, or anything with ``offsets(n)`` and
+            ``name``) instead of the constant ``rate_pps``; mutually
+            exclusive with it.
     """
     if connections < 1:
         raise ValueError("connections must be at least 1")
@@ -226,19 +324,27 @@ async def open_loop_load(
         raise ValueError("batch must be at least 1")
     if protocol not in ("auto", "json"):
         raise ValueError("protocol must be 'auto' or 'json'")
+    if profile is not None and rate_pps is not None:
+        raise ValueError("rate_pps and profile are mutually exclusive")
     values = [
         packet if isinstance(packet, tuple) else tuple(packet) for packet in packets
     ]
     shares: list[list[tuple[int, ...]]] = [[] for _ in range(connections)]
     schedules: list[list[float]] | None = None
-    if rate_pps is not None:
+    offsets: np.ndarray | None = None
+    if profile is not None:
+        offsets = np.asarray(profile.offsets(len(values)), dtype=float)
+        schedules = [[] for _ in range(connections)]
+    elif rate_pps is not None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
         schedules = [[] for _ in range(connections)]
     for index, packet in enumerate(values):
         shares[index % connections].append(packet)
         if schedules is not None:
-            schedules[index % connections].append(index / rate_pps)
+            schedules[index % connections].append(
+                float(offsets[index]) if offsets is not None else index / rate_pps
+            )
 
     latencies_us: list[float] = []
     counters = {"completed": 0, "matched": 0, "overloaded": 0, "errors": 0}
@@ -271,6 +377,11 @@ async def open_loop_load(
         pass
 
     window_us = np.asarray(latencies_us) if latencies_us else np.zeros(1)
+    offered = rate_pps
+    if offered is None and offsets is not None and len(offsets) > 1:
+        span = float(offsets[-1])
+        # The profile's *mean* rate; the instantaneous shape is in `profile`.
+        offered = round((len(offsets) - 1) / span, 1) if span > 0 else None
     return LoadReport(
         packets=len(values),
         completed=counters["completed"],
@@ -278,7 +389,7 @@ async def open_loop_load(
         overloaded=counters["overloaded"],
         errors=counters["errors"],
         wall_seconds=wall,
-        offered_rate_pps=rate_pps,
+        offered_rate_pps=offered,
         throughput_rps=counters["completed"] / wall if wall > 0 else 0.0,
         latency_p50_us=float(np.percentile(window_us, 50)),
         latency_p99_us=float(np.percentile(window_us, 99)),
@@ -286,6 +397,7 @@ async def open_loop_load(
         window=window,
         batch=batch,
         protocol="v2" if counters.get("wire_v2") else "json",
+        profile=profile.name if profile is not None else None,
         server=server_stats,
     )
 
@@ -299,6 +411,7 @@ def run_load(
     rate_pps: float | None = None,
     batch: int = 1,
     protocol: str = "auto",
+    profile: "RampProfile | BurstProfile | None" = None,
 ) -> LoadReport:
     """Blocking wrapper around :func:`open_loop_load`."""
     return asyncio.run(
@@ -311,5 +424,6 @@ def run_load(
             rate_pps=rate_pps,
             batch=batch,
             protocol=protocol,
+            profile=profile,
         )
     )

@@ -23,6 +23,9 @@ from repro.serving import (
     AsyncClient,
     AsyncServer,
     CachedEngine,
+    ControllerConfig,
+    ControlSettings,
+    OverloadController,
     ServerError,
     ShardedEngine,
 )
@@ -222,6 +225,169 @@ class TestBackpressure:
                     )
                     # Rejected requests are not counted as served work.
                     assert server._requests_served == len(served) + 1
+
+        run_scenario_coro(scenario())
+
+
+class _SlowBlockEngine:
+    """Delegating engine wrapper whose classify_block takes ``delay_s``.
+
+    Slowing only the columnar path keeps control traffic (stats, updates)
+    fast while binary classify batches pile up against the packet budget.
+    """
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self.delay_s = delay_s
+
+    def classify_block(self, block):
+        import time
+
+        time.sleep(self.delay_s)
+        return self._inner.classify_block(block)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestBinaryAdmission:
+    def test_binary_flood_sheds_with_overloaded_status(self, server_rules):
+        """Binary classify batches charge the shared packet budget: a flood
+        wider than the budget gets STATUS_OVERLOADED (surfaced as a
+        ServerError with code 'overloaded') instead of queueing without
+        bound — the admission hole the fast path used to have."""
+
+        async def scenario():
+            inner = ClassificationEngine.build(server_rules, classifier="tm")
+            engine = _SlowBlockEngine(inner, delay_s=0.05)
+            async with AsyncServer(
+                engine, max_batch=64, max_delay_us=100, max_queue=48
+            ) as server:
+                await server.start("127.0.0.1", 0)
+                packets = [
+                    tuple(p) for p in server_rules.sample_packets(32, seed=71)
+                ]
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    assert client.wire_v2, "flood must ride the binary path"
+                    outcomes = await asyncio.gather(
+                        *(client.classify_batch(packets) for _ in range(8)),
+                        return_exceptions=True,
+                    )
+                    served = [o for o in outcomes if isinstance(o, list)]
+                    shed = [
+                        o
+                        for o in outcomes
+                        if isinstance(o, ServerError) and o.code == "overloaded"
+                    ]
+                    unexpected = [
+                        o
+                        for o in outcomes
+                        if o not in served and o not in shed
+                    ]
+                    assert unexpected == []
+                    assert served, "admission starved every binary batch"
+                    assert shed, "binary flood never hit the packet budget"
+                    for responses in served:
+                        assert len(responses) == len(packets)
+                        for packet, response in zip(packets, responses):
+                            assert response_key(response) == result_key(
+                                ground_truth(server_rules.rules, packet)
+                            )
+                    # Sheds are packet-weighted in the shared budget's stats.
+                    assert server.budget.stats.rejected == len(shed)
+                    assert (
+                        server.budget.stats.rejected_packets
+                        == len(shed) * len(packets)
+                    )
+                    # The server recovers once the flood drains.
+                    again = await client.classify_batch(packets[:4])
+                    assert len(again) == 4
+                    stats = server.statistics()["server"]
+                    assert stats["adaptive"] is False
+                    assert stats["controller"] is None
+                    assert (
+                        stats["budget"]["rejected_packets"]
+                        == server.budget.stats.rejected_packets
+                    )
+            inner.close()
+
+        run_scenario_coro(scenario())
+
+
+class TestAdaptiveServer:
+    def test_ramp_adapts_dials_without_stale_matches(self, server_rules):
+        """Under a ramp of growing bursts with interleaved updates, the
+        controller (given an unmeetable SLO so every window breaches) shrinks
+        the batching dials — and every admitted response still matches
+        linear-search ground truth over the rules live at that instant."""
+
+        async def scenario():
+            engine = ClassificationEngine.build(server_rules, classifier="tm")
+            controller = OverloadController(
+                ControllerConfig(slo_p99_us=1.0, window_s=0.05),
+                ControlSettings(
+                    max_batch=128, max_delay_us=400.0, max_queue=4096
+                ),
+            )
+            async with AsyncServer(
+                engine,
+                max_batch=128,
+                max_delay_us=400,
+                max_queue=4096,
+                controller=controller,
+            ) as server:
+                await server.start("127.0.0.1", 0)
+                trace = make_trace("zipf", server_rules, 360, seed=73, skew=90)
+                packets = [tuple(p) for p in trace]
+                live = {rule.rule_id: rule for rule in server_rules}
+                next_id = 700_000
+                async with await AsyncClient.connect(
+                    server.host, server.port
+                ) as client:
+                    cursor = 0
+                    for step, burst_size in enumerate(
+                        [10, 20, 30, 40, 60, 80, 120]
+                    ):
+                        burst = packets[cursor : cursor + burst_size]
+                        cursor += burst_size
+                        outcomes = await asyncio.gather(
+                            *(client.classify(packet) for packet in burst),
+                            return_exceptions=True,
+                        )
+                        rules_now = list(live.values())
+                        for packet, outcome in zip(burst, outcomes):
+                            if isinstance(outcome, ServerError):
+                                assert outcome.code == "overloaded"
+                                continue
+                            assert response_key(outcome) == result_key(
+                                ground_truth(rules_now, packet)
+                            ), f"stale/wrong match for {packet} at step {step}"
+                        # Mutate the ruleset while the dials are moving.
+                        rule = Rule(
+                            tuple((v, v) for v in burst[0]),
+                            priority=0,
+                            rule_id=next_id,
+                        )
+                        await client.insert(rule)
+                        live[rule.rule_id] = rule
+                        next_id += 1
+                        # Let at least one control window close per step.
+                        await asyncio.sleep(0.06)
+                    stats = await client.stats()
+                server_stats = stats["server"]
+                assert server_stats["adaptive"] is True
+                control = server_stats["controller"]
+                assert control["windows"] >= 3
+                assert control["breaches"] >= 1
+                # Every completed window breached the 1us SLO, so the dials
+                # must have walked down from their initial settings.
+                assert server.batcher.max_batch < 128
+                assert server.batcher.max_delay_us < 400.0
+                assert server_stats["max_batch"] == server.batcher.max_batch
+                assert control["settings"]["max_batch"] == server.batcher.max_batch
+            engine.close()
 
         run_scenario_coro(scenario())
 

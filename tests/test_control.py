@@ -1,0 +1,370 @@
+"""Deterministic unit tests for the overload-control policy.
+
+Everything in :mod:`repro.serving.control` is a pure state machine over an
+injectable clock (the same design — and the same fake-clock idiom — as
+``tests/test_request_batcher.py``), so every decision here is exact: budgets
+reject at *exactly* the packet boundary, windows roll at *exactly*
+``window_s``, an SLO breach shrinks every dial by *exactly* ``backoff``, and
+a steady in-deadband load produces *zero* settings changes (no oscillation).
+The asyncio loop that applies these decisions is covered end-to-end in
+``tests/test_async_server.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.control import (
+    CacheTuner,
+    ControllerConfig,
+    ControlSettings,
+    OverloadController,
+    PacketBudget,
+    QueueFullError,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds, like time.monotonic)."""
+
+    def __init__(self):
+        self.us = 0.0
+
+    def __call__(self) -> float:
+        return self.us / 1e6
+
+    def advance_us(self, us: float) -> None:
+        self.us += us
+
+
+# ---------------------------------------------------------------------------
+# PacketBudget
+
+
+class TestPacketBudget:
+    def test_rejects_at_exactly_the_packet_boundary(self):
+        budget = PacketBudget(10)
+        budget.try_acquire(6)
+        budget.try_acquire(4)  # exactly at capacity: admitted
+        assert budget.in_flight == 10
+        with pytest.raises(QueueFullError):
+            budget.try_acquire(1)
+        assert budget.stats.admitted == 2
+        assert budget.stats.admitted_packets == 10
+        assert budget.stats.rejected == 1
+        assert budget.stats.rejected_packets == 1
+
+    def test_release_frees_capacity_and_clamps_at_zero(self):
+        budget = PacketBudget(10)
+        budget.try_acquire(10)
+        budget.release(4)
+        budget.try_acquire(4)
+        assert budget.in_flight == 10
+        budget.release(100)  # over-release clamps, never goes negative
+        assert budget.in_flight == 0
+
+    def test_oversized_request_admits_only_when_idle(self):
+        """Progress guarantee: a request wider than the whole budget is
+        admitted when nothing is in flight (otherwise it could never be
+        served), but blocks everything else until it completes."""
+        budget = PacketBudget(8)
+        budget.try_acquire(1000)
+        assert budget.in_flight == 1000
+        with pytest.raises(QueueFullError):
+            budget.try_acquire(1)
+        budget.release(1000)
+        budget.try_acquire(1)  # back to normal once the giant completes
+
+    def test_shrinking_the_limit_below_in_flight_only_blocks_new_work(self):
+        budget = PacketBudget(100)
+        budget.try_acquire(60)
+        budget.limit = 10  # the controller backing off mid-flight
+        with pytest.raises(QueueFullError):
+            budget.try_acquire(1)
+        budget.release(60)
+        budget.try_acquire(10)
+
+    @pytest.mark.parametrize("limit", [0, -1])
+    def test_rejects_invalid_limit(self, limit):
+        with pytest.raises(ValueError):
+            PacketBudget(limit)
+
+    def test_rejects_invalid_acquire(self):
+        with pytest.raises(ValueError):
+            PacketBudget(4).try_acquire(0)
+
+    def test_as_dict_shape(self):
+        payload = PacketBudget(4).as_dict()
+        assert set(payload) == {
+            "limit", "in_flight", "admitted", "admitted_packets",
+            "rejected", "rejected_packets",
+        }
+
+
+# ---------------------------------------------------------------------------
+# OverloadController
+
+
+def make_controller(**overrides) -> tuple[OverloadController, FakeClock]:
+    clock = FakeClock()
+    config = dict(
+        slo_p99_us=1_000.0, window_s=0.1, headroom=0.7,
+        min_batch=8, max_batch=1024, batch_step=16,
+        min_delay_us=0.0, max_delay_us=5_000.0, delay_step_us=50.0,
+        min_queue=64, max_queue=1 << 20, queue_growth=1.25, backoff=0.5,
+    )
+    config.update(overrides)
+    controller = OverloadController(
+        ControllerConfig(**config),
+        ControlSettings(max_batch=128, max_delay_us=200.0, max_queue=1024),
+        clock=clock,
+    )
+    return controller, clock
+
+
+def roll(controller: OverloadController, clock: FakeClock) -> ControlSettings:
+    """Advance exactly one window and close it."""
+    clock.advance_us(controller.config.window_s * 1e6)
+    settings = controller.maybe_roll()
+    assert settings is not None
+    return settings
+
+
+class TestControllerWindows:
+    def test_window_rolls_at_exactly_window_s(self):
+        controller, clock = make_controller(window_s=0.1)
+        assert controller.due_in() == pytest.approx(0.1)
+        assert controller.maybe_roll() is None  # not due: window stays open
+        clock.advance_us(99_999.0)
+        assert controller.maybe_roll() is None
+        clock.advance_us(1.0)  # exactly window_s
+        assert controller.due_in() == 0.0
+        assert controller.maybe_roll() is not None
+        assert controller.windows == 1
+        # The next window opens at the roll, not at the last observation.
+        assert controller.due_in() == pytest.approx(0.1)
+
+    def test_idle_window_holds(self):
+        controller, clock = make_controller()
+        before = controller.settings
+        assert roll(controller, clock) == before
+        assert controller.holds == 1
+        assert controller.last_window.decision == "hold"
+
+
+class TestControllerPolicy:
+    def test_slo_breach_shrinks_batch_delay_and_budget(self):
+        controller, clock = make_controller(slo_p99_us=1_000.0, backoff=0.5)
+        controller.observe_completion(5_000.0, packets=32)
+        settings = roll(controller, clock)
+        assert settings.max_batch == 64       # 128 * 0.5
+        assert settings.max_delay_us == 100.0  # 200 * 0.5
+        assert settings.max_queue == 512      # 1024 * 0.5
+        assert controller.breaches == 1
+        assert controller.last_window.decision == "breach"
+        assert controller.last_window.p99_us > 1_000.0
+
+    def test_headroom_grows_batch_and_delay_additively(self):
+        controller, clock = make_controller(slo_p99_us=1_000.0, headroom=0.7)
+        controller.observe_completion(100.0, packets=32)  # far under headroom
+        settings = roll(controller, clock)
+        assert settings.max_batch == 144       # 128 + 16
+        assert settings.max_delay_us == 250.0  # 200 + 50
+        assert settings.max_queue == 1024      # healthy and no sheds: hold
+        assert controller.grows == 1
+
+    def test_deadband_between_headroom_and_slo_holds(self):
+        controller, clock = make_controller(slo_p99_us=1_000.0, headroom=0.7)
+        controller.observe_completion(800.0, packets=32)  # in (700, 1000)
+        assert roll(controller, clock) == ControlSettings(128, 200.0, 1024)
+        assert controller.holds == 1
+
+    def test_budget_grows_only_when_shedding_while_healthy(self):
+        controller, clock = make_controller(queue_growth=1.25)
+        controller.observe_completion(100.0, packets=32)
+        controller.observe_shed(500)  # budget, not engine, is the bottleneck
+        settings = roll(controller, clock)
+        assert settings.max_queue == int(1024 * 1.25) + 1
+
+    def test_total_shed_window_counts_as_breach(self):
+        """Nothing completed but traffic was shed: the degenerate breach
+        (there are no latency samples, yet the server is clearly drowning)."""
+        controller, clock = make_controller()
+        controller.observe_shed(100)
+        settings = roll(controller, clock)
+        assert controller.breaches == 1
+        assert settings.max_batch == 64
+
+    def test_percentiles_are_packet_weighted(self):
+        """One slow 512-packet batch must dominate p99 over a few fast
+        singles — and vice versa, one slow single packet among 512 fast
+        ones must not trip the SLO."""
+        slow_heavy, clock = make_controller(slo_p99_us=1_000.0)
+        slow_heavy.observe_completion(20_000.0, packets=512)
+        slow_heavy.observe_completion(100.0, packets=5)
+        roll(slow_heavy, clock)
+        assert slow_heavy.breaches == 1
+
+        fast_heavy, clock = make_controller(slo_p99_us=1_000.0)
+        fast_heavy.observe_completion(100.0, packets=512)
+        fast_heavy.observe_completion(20_000.0, packets=1)
+        roll(fast_heavy, clock)
+        assert fast_heavy.breaches == 0
+        assert fast_heavy.grows == 1
+
+    def test_repeated_breaches_clamp_at_the_floors(self):
+        controller, clock = make_controller(
+            min_batch=8, min_queue=64, min_delay_us=0.0
+        )
+        for _ in range(50):
+            controller.observe_completion(50_000.0, packets=16)
+            roll(controller, clock)
+        settings = controller.settings
+        assert settings.max_batch == 8
+        assert settings.max_queue == 64
+        # Multiplicative decay never exactly reaches the 0.0 floor, but it
+        # must be pinned inside [min, previous) and effectively zero.
+        assert 0.0 <= settings.max_delay_us < 1e-3
+
+    def test_repeated_growth_clamps_at_the_ceilings(self):
+        controller, clock = make_controller(
+            max_batch=256, max_delay_us=400.0, max_queue=2048
+        )
+        for _ in range(50):
+            controller.observe_completion(50.0, packets=16)
+            controller.observe_shed(1)
+            roll(controller, clock)
+        settings = controller.settings
+        assert settings.max_batch == 256
+        assert settings.max_delay_us == 400.0
+        assert settings.max_queue == 2048
+
+
+class TestControllerConvergence:
+    def test_no_oscillation_on_a_step_load(self):
+        """A step load that lands in the deadband after one backoff must
+        converge: one breach, then identical settings every window after."""
+        controller, clock = make_controller(slo_p99_us=1_000.0, headroom=0.7)
+
+        def service_p99(settings: ControlSettings) -> float:
+            # A synthetic server: latency scales with batch size; at the
+            # initial 128-batch it breaches, at 64 it sits in the deadband.
+            return settings.max_batch * 12.0
+
+        history = []
+        for _ in range(20):
+            controller.observe_completion(
+                service_p99(controller.settings), packets=64
+            )
+            history.append(roll(controller, clock))
+        assert controller.breaches == 1           # the single step response
+        assert len(set(history[1:])) == 1         # then a fixed point
+        assert history[1].max_batch == 64
+        assert controller.holds == 19
+
+    def test_admission_budget_converges_after_shedding_stops(self):
+        """Budget grows while healthy sheds persist, then freezes: growth is
+        driven by sheds, so the fixed point is 'no sheds at low latency'."""
+        controller, clock = make_controller()
+        limits = []
+        for window in range(12):
+            controller.observe_completion(100.0, packets=32)
+            if window < 4:  # sheds only in the first four windows
+                controller.observe_shed(10)
+            limits.append(roll(controller, clock).max_queue)
+        assert limits[0] < limits[1] < limits[2] < limits[3]  # growing
+        assert len(set(limits[3:])) == 1          # frozen once sheds stop
+
+    def test_as_dict_exposes_decisions(self):
+        controller, clock = make_controller()
+        controller.observe_completion(5_000.0, packets=4)
+        controller.observe_queue(17)
+        roll(controller, clock)
+        payload = controller.as_dict()
+        assert payload["windows"] == 1
+        assert payload["breaches"] == 1
+        assert payload["settings"]["max_batch"] == 64
+        assert payload["last_window"]["decision"] == "breach"
+        assert payload["last_window"]["queue_peak"] == 17
+        assert payload["last_window"]["completed_packets"] == 4
+
+
+class TestControllerConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"slo_p99_us": 0.0},
+        {"window_s": 0.0},
+        {"headroom": 1.0},
+        {"headroom": 0.0},
+        {"min_batch": 0},
+        {"min_batch": 2048},          # above max_batch
+        {"min_delay_us": -1.0},
+        {"min_queue": 0},
+        {"queue_growth": 1.0},
+        {"backoff": 1.0},
+        {"backoff": 0.0},
+    ])
+    def test_rejects_invalid_configuration(self, overrides):
+        with pytest.raises(ValueError):
+            make_controller(**overrides)
+
+    def test_initial_settings_are_clamped_into_the_envelope(self):
+        controller = OverloadController(
+            ControllerConfig(slo_p99_us=1_000.0, min_batch=16, min_queue=256),
+            ControlSettings(max_batch=2, max_delay_us=9e9, max_queue=1),
+        )
+        assert controller.settings.max_batch == 16
+        assert controller.settings.max_queue == 256
+        assert controller.settings.max_delay_us == 5_000.0
+
+
+# ---------------------------------------------------------------------------
+# CacheTuner
+
+
+class TestCacheTuner:
+    def test_ignores_windows_with_too_few_probes(self):
+        tuner = CacheTuner(min_probes=256)
+        assert tuner.on_window(512, hits=10, misses=10) == 512
+        assert tuner.resizes == 0
+
+    def test_probes_double_while_marginal_gain_pays(self):
+        tuner = CacheTuner(min_gain=0.02, min_probes=100)
+        assert tuner.on_window(256, hits=500, misses=500) == 512   # probe up
+        assert tuner.on_window(512, hits=600, misses=400) == 1024  # +0.10: pays
+        assert tuner.on_window(1024, hits=700, misses=300) == 2048
+        assert tuner.resizes == 3
+
+    def test_unpaying_doubling_reverts_and_settles(self):
+        tuner = CacheTuner(min_gain=0.02, min_probes=100)
+        assert tuner.on_window(256, hits=500, misses=500) == 512
+        # The doubling bought only +0.005 hit rate: undo it and settle.
+        assert tuner.on_window(512, hits=505, misses=495) == 256
+        assert tuner.on_window(256, hits=500, misses=500) == 256  # settled
+        assert tuner.on_window(256, hits=510, misses=490) == 256
+        assert tuner.as_dict()["mode"] == "settled"
+
+    def test_hit_rate_collapse_reopens_probing(self):
+        tuner = CacheTuner(min_gain=0.02, min_probes=100)
+        tuner.on_window(256, hits=500, misses=500)
+        tuner.on_window(512, hits=505, misses=495)   # settle back at 256
+        # The workload shifted: the settled rate collapses, probing reopens.
+        assert tuner.on_window(256, hits=200, misses=800) == 512
+        assert tuner.as_dict()["mode"] == "probing"
+
+    def test_capacity_never_exceeds_max(self):
+        tuner = CacheTuner(max_capacity=512, min_probes=100)
+        assert tuner.on_window(256, hits=500, misses=500) == 512
+        # At the ceiling the gain paid, but there is nowhere left to grow.
+        assert tuner.on_window(512, hits=900, misses=100) == 512
+        assert tuner.as_dict()["mode"] == "settled"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_capacity": 0},
+        {"min_capacity": 2048, "max_capacity": 1024},
+        {"min_gain": 0.0},
+        {"min_gain": 1.0},
+        {"min_probes": 0},
+    ])
+    def test_rejects_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheTuner(**kwargs)

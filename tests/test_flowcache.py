@@ -147,6 +147,89 @@ class TestFlowCache:
         assert len(cache) == 1
 
 
+class TestResizeAndHitWindow:
+    def test_shrink_keeps_the_most_recently_used_entries(self):
+        cache = FlowCache(8, num_fields=1)
+        cache.fill_batch(keys_of(*[(i,) for i in range(8)]), [None] * 8)
+        # Touch 4..7: 0..3 become the LRU half.
+        cache.probe_batch(keys_of((4,), (5,), (6,), (7,)))
+        evicted = cache.resize(4)
+        assert evicted == 4
+        assert cache.capacity == 4
+        assert len(cache) == 4
+        _, mask = cache.probe_batch(
+            keys_of(*[(i,) for i in range(8)])
+        )
+        assert list(mask) == [False] * 4 + [True] * 4
+        assert cache.stats.evictions == 4
+
+    def test_shrink_does_not_bump_the_epoch(self):
+        """A resize changes no rule state, so an in-flight slow-path fill
+        fenced on the pre-resize epoch must still land."""
+        cache = FlowCache(8, num_fields=1)
+        epoch = cache.epoch
+        cache.resize(4)
+        assert cache.epoch == epoch
+        cache.fill_batch(keys_of((1,)), [None], epoch=epoch)
+        _, mask = cache.probe_batch(keys_of((1,)))
+        assert mask.all()
+        assert cache.stats.dropped_fills == 0
+
+    def test_grow_keeps_everything_and_opens_new_slots(self):
+        cache = FlowCache(2, num_fields=1)
+        cache.fill_batch(keys_of((0,), (1,)), [None, None])
+        assert cache.resize(4) == 0
+        cache.fill_batch(keys_of((2,), (3,)), [None, None])
+        assert len(cache) == 4
+        _, mask = cache.probe_batch(keys_of((0,), (1,), (2,), (3,)))
+        assert mask.all()
+
+    def test_resize_preserves_winner_identity_and_lru_order(self):
+        cache = FlowCache(4, num_fields=1)
+        rule = rule_over((7,), priority=1, rule_id=9)
+        cache.fill_batch(keys_of((7,), (8,)), [rule, None])
+        cache.probe_batch(keys_of((7,)))  # 8 is now the LRU entry
+        cache.resize(8)
+        winners, mask = cache.probe_batch(keys_of((7,), (8,)))
+        assert mask.all() and winners[0] is rule and winners[1] is None
+        # The combined probe gave both entries the same LRU tick; re-touch
+        # (7,) alone so (8,) is strictly the LRU tail before the fill.
+        cache.probe_batch(keys_of((7,)))
+        # Fill 7 fresh entries: the lone eviction must be the old LRU tail,
+        # proving last-used clocks survived the array rebuild.
+        cache.fill_batch(keys_of(*[(i,) for i in range(10, 17)]), [None] * 7)
+        _, mask = cache.probe_batch(keys_of((7,), (8,)))
+        assert list(mask) == [True, False]
+
+    def test_resize_to_zero_disables_and_back(self):
+        cache = FlowCache(4, num_fields=1)
+        cache.fill_batch(keys_of((1,)), [None])
+        assert cache.resize(0) == 1
+        _, mask = cache.probe_batch(keys_of((1,)))
+        assert not mask.any()
+        cache.resize(4)
+        cache.fill_batch(keys_of((1,)), [None])
+        _, mask = cache.probe_batch(keys_of((1,)))
+        assert mask.all()
+
+    def test_resize_rejects_negative_and_noops_on_same_capacity(self):
+        cache = FlowCache(4, num_fields=1)
+        with pytest.raises(ValueError):
+            cache.resize(-1)
+        assert cache.resize(4) == 0
+
+    def test_take_hit_window_drains_without_touching_stats(self):
+        cache = FlowCache(4, num_fields=1)
+        cache.fill_batch(keys_of((1,)), [None])
+        cache.probe_batch(keys_of((1,), (2,)))  # one hit, one miss
+        assert cache.take_hit_window() == (1, 1)
+        assert cache.take_hit_window() == (0, 0)  # drained
+        cache.probe_batch(keys_of((1,)))
+        assert cache.take_hit_window() == (1, 0)
+        # Aggregate counters keep the full history.
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
 class TestCachedEngine:
     @pytest.fixture(scope="class")
     def engine(self, acl_small):

@@ -16,7 +16,12 @@ from concurrent.futures import Future, InvalidStateError
 
 import pytest
 
-from repro.serving.server import BatcherStats, QueueFullError, RequestBatcher
+from repro.serving.server import (
+    BatcherStats,
+    PacketBudget,
+    QueueFullError,
+    RequestBatcher,
+)
 
 
 class FakeClock:
@@ -126,6 +131,77 @@ class TestBackpressure:
         batcher.close()
         with pytest.raises(RuntimeError):
             batcher.submit("late")
+
+
+class TestPacketWeightedAdmission:
+    """``max_queue`` bounds *packets*, not requests: a request costs its
+    ``weight`` rows against the shared budget (a 10k-row batch can no longer
+    hide in one queue slot)."""
+
+    def test_rejects_at_exactly_the_packet_boundary(self):
+        batcher, _clock = make_batcher(max_queue=10)
+        batcher.submit("a", weight=4)
+        batcher.submit("b", weight=6)  # exactly 10 packets queued: admitted
+        assert batcher.queue_depth == 2
+        assert batcher.queued_packets == 10
+        with pytest.raises(QueueFullError):
+            batcher.submit("c", weight=1)
+        assert batcher.stats.rejected == 1
+        assert batcher.stats.requests == 2
+        # max_queue_depth is packet-denominated, like max_queue itself.
+        assert batcher.stats.max_queue_depth == 10
+
+    def test_take_batch_frees_the_batch_weight(self):
+        batcher, _clock = make_batcher(max_batch=4, max_queue=10)
+        batcher.submit("a", weight=4)
+        batcher.submit("b", weight=6)
+        with pytest.raises(QueueFullError):
+            batcher.submit("c", weight=1)
+        batcher.take_batch()  # both requests leave: all 10 packets free
+        assert batcher.queued_packets == 0
+        batcher.submit("d", weight=10)
+        assert batcher.budget.in_flight == 10
+
+    def test_oversized_request_admits_only_into_an_empty_queue(self):
+        """Progress guarantee: one batch wider than the whole budget must
+        still be servable — it admits when nothing is queued, and blocks
+        everything else until its batch is taken."""
+        batcher, _clock = make_batcher(max_queue=4)
+        batcher.submit("giant", weight=1000)
+        with pytest.raises(QueueFullError):
+            batcher.submit("next", weight=1)
+        batcher.take_batch()
+        batcher.submit("next", weight=1)
+
+    def test_shared_budget_couples_two_admission_points(self):
+        """The server shares one budget between the JSON batcher and the
+        binary path; load admitted on either side sheds the other."""
+        budget = PacketBudget(10)
+        batcher, _clock = make_batcher(budget=budget)
+        budget.try_acquire(8)  # a binary batch in flight
+        batcher.submit("a", weight=2)
+        with pytest.raises(QueueFullError):
+            batcher.submit("b", weight=1)
+        budget.release(8)  # the binary batch completes
+        batcher.submit("b", weight=7)
+
+    def test_max_queue_is_a_live_view_of_the_budget_limit(self):
+        batcher, _clock = make_batcher(max_queue=10)
+        assert batcher.max_queue == 10
+        batcher.max_queue = 4  # what the overload controller does per window
+        assert batcher.budget.limit == 4
+        batcher.submit("a", weight=4)
+        with pytest.raises(QueueFullError):
+            batcher.submit("b", weight=1)
+        with pytest.raises(ValueError):
+            batcher.max_queue = 0
+
+    def test_default_weight_matches_legacy_request_counting(self):
+        batcher, _clock = make_batcher(max_queue=3)
+        for i in range(3):
+            batcher.submit(i)
+        with pytest.raises(QueueFullError):
+            batcher.submit("overflow")
 
 
 class TestNoDropNoDouble:
